@@ -1,0 +1,138 @@
+// Figure 13 and Table 2: graph analytics performance across systems.
+//   Fig. 13 — BFS and BC running time normalized to LSGraph.
+//   Table 2 — absolute PR / CC / TC times for LSGraph vs Terrace, plus TC's
+//             traversal-time share (Tra/L).
+// Fig. 3(a)'s motivation plot (Terrace vs Aspen on BFS) falls out of the
+// same rows.
+//
+// Expected shape: LSGraph fastest; Terrace close on BFS/BC, behind on PR/TC;
+// Aspen/PaC-tree clearly slower on traversal-bound kernels.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/analytics/bc.h"
+#include "src/analytics/bfs.h"
+#include "src/analytics/cc.h"
+#include "src/analytics/pagerank.h"
+#include "src/analytics/tc.h"
+
+namespace lsg {
+namespace bench {
+namespace {
+
+struct KernelTimes {
+  double bfs = 0;
+  double bc = 0;
+  double pr = 0;
+  double cc = 0;
+  double tc = 0;
+  double tc_traversal = 0;
+  bool has_tc = false;
+};
+
+template <typename G>
+KernelTimes RunKernels(const G& g, VertexId source, ThreadPool& pool,
+                       bool run_tc, bool stage_tc_arrays = true) {
+  KernelTimes t;
+  (void)Bfs(g, source, pool);  // warmup: lazy indexes + caches
+  Timer timer;
+  (void)Bfs(g, source, pool);
+  t.bfs = timer.Seconds();
+  timer.Reset();
+  (void)BetweennessCentrality(g, source, pool);
+  t.bc = timer.Seconds();
+  timer.Reset();
+  (void)PageRank(g, pool);
+  t.pr = timer.Seconds();
+  timer.Reset();
+  (void)ConnectedComponents(g, pool);
+  t.cc = timer.Seconds();
+  if (run_tc) {
+    timer.Reset();
+    // LSGraph stages adjacency into arrays first (§6.3); Terrace intersects
+    // by re-traversing its structures.
+    TriangleCountResult tc = stage_tc_arrays ? TriangleCount(g, pool)
+                                             : TriangleCountDirect(g, pool);
+    t.tc = timer.Seconds();
+    t.tc_traversal = tc.traversal_seconds;
+    t.has_tc = true;
+  }
+  return t;
+}
+
+void RunDataset(const DatasetSpec& spec, ThreadPool& pool) {
+  // TC is reported for LJ/OR/RM/TW (Table 2 has no FR row).
+  bool run_tc = spec.name != "FR";
+  VertexId source = 0;
+
+  KernelTimes ls;
+  KernelTimes terrace;
+  KernelTimes aspen;
+  KernelTimes pactree;
+  {
+    auto g = MakeLsGraph(spec, &pool);
+    // Pick a high-degree source so BFS/BC cover the graph.
+    for (VertexId v = 0; v < g->num_vertices(); ++v) {
+      if (g->degree(v) > g->degree(source)) {
+        source = v;
+      }
+    }
+    ls = RunKernels(*g, source, pool, run_tc);
+  }
+  {
+    auto g = MakeTerrace(spec, &pool);
+    terrace = RunKernels(*g, source, pool, run_tc, /*stage_tc_arrays=*/false);
+  }
+  {
+    auto g = MakeAspen(spec, &pool);
+    aspen = RunKernels(*g, source, pool, /*run_tc=*/false);
+  }
+  {
+    auto g = MakePacTree(spec, &pool);
+    pactree = RunKernels(*g, source, pool, /*run_tc=*/false);
+  }
+
+  std::printf("\n--- %s ---\n", spec.name.c_str());
+  std::printf("Fig.13 rows (time in s; x = normalized to LSGraph)\n");
+  auto row = [](const char* name, double bfs, double bc, double ls_bfs,
+                double ls_bc) {
+    std::printf("%-9s BFS %.4fs (%.2fx)   BC %.4fs (%.2fx)\n", name, bfs,
+                ls_bfs > 0 ? bfs / ls_bfs : 0.0, bc,
+                ls_bc > 0 ? bc / ls_bc : 0.0);
+  };
+  row("LSGraph", ls.bfs, ls.bc, ls.bfs, ls.bc);
+  row("Terrace", terrace.bfs, terrace.bc, ls.bfs, ls.bc);
+  row("Aspen", aspen.bfs, aspen.bc, ls.bfs, ls.bc);
+  row("PaC-tree", pactree.bfs, pactree.bc, ls.bfs, ls.bc);
+  std::printf("Fig.3(a) motivation: Terrace/Aspen BFS ratio = %.2fx\n",
+              terrace.bfs > 0 ? aspen.bfs / terrace.bfs : 0.0);
+
+  std::printf("Table 2 row: PR  LSGraph %.4fs Terrace %.4fs (T/L %.2f)\n",
+              ls.pr, terrace.pr, ls.pr > 0 ? terrace.pr / ls.pr : 0.0);
+  std::printf("Table 2 row: CC  LSGraph %.4fs Terrace %.4fs (T/L %.2f)\n",
+              ls.cc, terrace.cc, ls.cc > 0 ? terrace.cc / ls.cc : 0.0);
+  if (ls.has_tc) {
+    std::printf(
+        "Table 2 row: TC  LSGraph %.4fs (traversal %.4fs, Tra/L %.2f%%) "
+        "Terrace %.4fs (T/L %.2f)\n",
+        ls.tc, ls.tc_traversal,
+        ls.tc > 0 ? 100.0 * ls.tc_traversal / ls.tc : 0.0, terrace.tc,
+        ls.tc > 0 ? terrace.tc / ls.tc : 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lsg
+
+int main() {
+  using namespace lsg;
+  using namespace lsg::bench;
+  PrintHeader(
+      "Fig. 13 + Table 2 (+ Fig. 3a): analytics across the four systems");
+  ThreadPool pool;
+  for (const DatasetSpec& spec : BenchDatasets()) {
+    RunDataset(spec, pool);
+  }
+  return 0;
+}

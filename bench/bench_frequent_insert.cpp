@@ -1,0 +1,66 @@
+// Figure 16: scenarios with frequent insertions. Five consecutive large
+// batches are inserted into LSGraph on OR (no interleaved deletions), per
+// (α, M) configuration; reported is the mean per-batch time.
+//
+// Expected shape: performance degrades as more structures sit at their RIA
+// movement bound, most sharply at small α; HITree's vertical movement keeps
+// the degradation bounded (larger M = fewer HITrees = worse here).
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace lsg {
+namespace bench {
+namespace {
+
+const double kAlphas[] = {1.1, 1.2, 1.5, 2.0};
+
+std::vector<uint32_t> MThresholds() {
+  if (BenchScale() == Scale::kFull) {
+    return {1 << 12, 1 << 14, 1 << 16};
+  }
+  return {1 << 8, 1 << 10, 1 << 12, 1 << 14};
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lsg
+
+int main() {
+  using namespace lsg;
+  using namespace lsg::bench;
+  PrintHeader("Fig. 16: five consecutive large inserts on OR");
+  ThreadPool pool;
+  DatasetSpec spec;
+  for (const DatasetSpec& s : BenchDatasets()) {
+    if (s.name == "OR") {
+      spec = s;
+    }
+  }
+  uint64_t batch_size = LargeBatch();
+  for (double alpha : kAlphas) {
+    for (uint32_t m : MThresholds()) {
+      Options options;
+      options.alpha = alpha;
+      options.m_threshold = m;
+      auto g = MakeLsGraph(spec, &pool, options);
+      double total = 0.0;
+      for (uint64_t round = 0; round < 5; ++round) {
+        std::vector<Edge> batch = BuildUpdateBatch(spec, batch_size, round);
+        Timer timer;
+        g->InsertBatch(batch);
+        total += timer.Seconds();
+      }
+      std::printf(
+          "alpha=%.1f M=2^%-2d  mean per-batch insert %8.3fs  "
+          "(RIA->HITree conversions %llu, expansions %llu, verticals %llu)\n",
+          alpha, 31 - __builtin_clz(m), total / 5,
+          static_cast<unsigned long long>(
+              g->stats().ria_to_hitree_conversions.load()),
+          static_cast<unsigned long long>(g->stats().ria_expansions.load()),
+          static_cast<unsigned long long>(
+              g->stats().lia_child_creations.load()));
+    }
+  }
+  return 0;
+}

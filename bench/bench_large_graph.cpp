@@ -1,0 +1,68 @@
+// §6.5 "Scenarios with Larger Graph Datasets": the paper builds a
+// graph500-generated graph (1B vertices / 4.3B symmetrized edges) and
+// compares update throughput of LSGraph vs Aspen and PaC-tree (Terrace is
+// excluded at this size). This binary runs the same comparison on the
+// largest rMat proxy the bench scale allows.
+//
+// Expected shape: LSGraph several times faster than both tree engines.
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace lsg {
+namespace bench {
+namespace {
+
+DatasetSpec LargeSpec() {
+  switch (BenchScale()) {
+    case Scale::kTiny:
+      return {"G500", 16, 8.0, 500};
+    case Scale::kSmall:
+      return {"G500", 19, 8.0, 500};
+    case Scale::kFull:
+      return {"G500", 27, 4.3, 500};
+  }
+  return {};
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lsg
+
+int main() {
+  using namespace lsg;
+  using namespace lsg::bench;
+  PrintHeader("§6.5: graph500-style large graph, LSGraph vs Aspen/PaC-tree");
+  ThreadPool pool;
+  DatasetSpec spec = LargeSpec();
+  uint64_t batch_size = LargeBatch();
+  std::vector<Edge> batch = BuildUpdateBatch(spec, batch_size, /*trial=*/0);
+
+  double ls;
+  double aspen;
+  double pactree;
+  {
+    auto g = MakeLsGraph(spec, &pool);
+    Timer timer;
+    g->InsertBatch(batch);
+    ls = Throughput(batch_size, timer.Seconds());
+  }
+  {
+    auto g = MakeAspen(spec, &pool);
+    Timer timer;
+    g->InsertBatch(batch);
+    aspen = Throughput(batch_size, timer.Seconds());
+  }
+  {
+    auto g = MakePacTree(spec, &pool);
+    Timer timer;
+    g->InsertBatch(batch);
+    pactree = Throughput(batch_size, timer.Seconds());
+  }
+  std::printf(
+      "|V|=2^%d batch=%llu: LSGraph %10.3e e/s | speedup vs Aspen %.2fx, "
+      "PaC-tree %.2fx\n",
+      spec.scale, static_cast<unsigned long long>(batch_size), ls,
+      aspen > 0 ? ls / aspen : 0.0, pactree > 0 ? ls / pactree : 0.0);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Table 3: memory usage of the four systems per graph, the ratio of
+// Terrace's footprint to LSGraph's (T/L), and LSGraph's index overhead (I/L:
+// RIA index arrays + LIA models/metadata as a share of total footprint).
+//
+// Expected shape: Terrace ~2-3x LSGraph (PMA density 0.125-0.25 vs α=1.2);
+// Aspen/PaC-tree below LSGraph (compressed chunks); I/L a few percent.
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace lsg {
+namespace bench {
+namespace {
+
+double Gib(size_t bytes) { return static_cast<double>(bytes) / (1 << 30); }
+
+void RunDataset(const DatasetSpec& spec, ThreadPool& pool) {
+  size_t ls_bytes;
+  size_t ls_index;
+  EdgeCount edges;
+  {
+    auto g = MakeLsGraph(spec, &pool);
+    ls_bytes = g->memory_footprint();
+    ls_index = g->index_bytes();
+    edges = g->num_edges();
+  }
+  size_t terrace_bytes;
+  {
+    // Terrace reserves PMA space at low density, as the paper notes.
+    auto g = MakeTerrace(spec, &pool);
+    terrace_bytes = g->memory_footprint();
+  }
+  size_t aspen_bytes;
+  {
+    auto g = MakeAspen(spec, &pool);
+    aspen_bytes = g->memory_footprint();
+  }
+  size_t pactree_bytes;
+  {
+    auto g = MakePacTree(spec, &pool);
+    pactree_bytes = g->memory_footprint();
+  }
+  std::printf(
+      "%-4s |E|=%-10llu LSGraph %8.4f GB  Terrace %8.4f GB  Aspen %8.4f GB  "
+      "PaC %8.4f GB  T/L %5.2f  I/L %5.2f%%\n",
+      spec.name.c_str(), static_cast<unsigned long long>(edges), Gib(ls_bytes),
+      Gib(terrace_bytes), Gib(aspen_bytes), Gib(pactree_bytes),
+      static_cast<double>(terrace_bytes) / ls_bytes,
+      100.0 * ls_index / ls_bytes);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lsg
+
+int main() {
+  using namespace lsg;
+  using namespace lsg::bench;
+  PrintHeader("Table 3: memory footprint and index overhead");
+  ThreadPool pool;
+  for (const DatasetSpec& spec : BenchDatasets()) {
+    RunDataset(spec, pool);
+  }
+  return 0;
+}

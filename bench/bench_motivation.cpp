@@ -1,0 +1,89 @@
+// Figure 3 (motivation study): the update/analytics tension in prior work.
+//   (a) BFS time of Aspen normalized to Terrace on each graph — Terrace
+//       (array-based) should win analytics by 2-3.5x.
+//   (b) Insertion throughput for growing batch sizes on OR — Aspen should
+//       overtake Terrace decisively at large batches.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/analytics/bfs.h"
+
+namespace lsg {
+namespace bench {
+namespace {
+
+void FigureA(ThreadPool& pool) {
+  std::printf("\nFig. 3(a): BFS time normalized to Terrace\n");
+  for (const DatasetSpec& spec : BenchDatasets()) {
+    if (spec.name == "FR") {
+      continue;
+    }
+    double terrace_s;
+    double aspen_s;
+    VertexId source = 0;
+    {
+      auto g = MakeTerrace(spec, &pool);
+      for (VertexId v = 0; v < g->num_vertices(); ++v) {
+        if (g->degree(v) > g->degree(source)) {
+          source = v;
+        }
+      }
+      (void)Bfs(*g, source, pool);  // warmup: offset rebuild + caches
+      Timer timer;
+      (void)Bfs(*g, source, pool);
+      terrace_s = timer.Seconds();
+    }
+    {
+      auto g = MakeAspen(spec, &pool);
+      (void)Bfs(*g, source, pool);  // warmup
+      Timer timer;
+      (void)Bfs(*g, source, pool);
+      aspen_s = timer.Seconds();
+    }
+    std::printf("%-4s Terrace 1.00x  Aspen %.2fx\n", spec.name.c_str(),
+                terrace_s > 0 ? aspen_s / terrace_s : 0.0);
+  }
+}
+
+void FigureB(ThreadPool& pool) {
+  std::printf("\nFig. 3(b): insertion throughput on OR (edges/s)\n");
+  DatasetSpec spec;
+  for (const DatasetSpec& s : BenchDatasets()) {
+    if (s.name == "OR") {
+      spec = s;
+    }
+  }
+  std::printf("%-9s", "batch");
+  for (uint64_t b : BatchSizes()) {
+    std::printf(" %12llu", static_cast<unsigned long long>(b));
+  }
+  std::printf("\n");
+  auto run = [&](const char* name, auto factory) {
+    std::printf("%-9s", name);
+    auto g = factory(&pool);
+    for (uint64_t batch_size : BatchSizes()) {
+      std::vector<Edge> batch = BuildUpdateBatch(spec, batch_size, 0);
+      auto [ins_s, del_s] = TimeInsertDeleteRound(*g, batch);
+      (void)del_s;
+      std::printf(" %12.3e", Throughput(batch_size, ins_s));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  };
+  run("Terrace", [&](ThreadPool* p) { return MakeTerrace(spec, p); });
+  run("Aspen", [&](ThreadPool* p) { return MakeAspen(spec, p); });
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lsg
+
+int main() {
+  using namespace lsg;
+  using namespace lsg::bench;
+  PrintHeader("Fig. 3: motivation — Terrace vs Aspen trade-off");
+  ThreadPool pool;
+  FigureA(pool);
+  FigureB(pool);
+  return 0;
+}

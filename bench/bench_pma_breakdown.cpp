@@ -1,0 +1,62 @@
+// Figure 4: why Terrace's updates are slow.
+//   (a) share of total single-threaded insertion time spent inside the PMA;
+//   (b) split of that PMA time between search and data movement.
+//
+// Protocol follows §2.3: single thread (to remove contention effects),
+// large insertion batches, per-phase timers inside the PMA.
+//
+// Expected shape: PMA dominates total time (paper: up to 97%); search is a
+// large minority share (paper: 30-43%), movement the rest.
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace lsg {
+namespace bench {
+namespace {
+
+void RunDataset(const DatasetSpec& spec) {
+  ThreadPool pool(1);  // single thread, as in the paper's Fig. 4 analysis
+  TerraceOptions options;
+  options.pma.timing = true;
+  TerraceGraph g(NumVerticesFor(spec), options, &pool);
+  g.BuildFromEdges(BuildDatasetEdges(spec));
+  g.mutable_pma().mutable_stats().Clear();
+
+  uint64_t batch_size = LargeBatch();
+  std::vector<Edge> batch = BuildUpdateBatch(spec, batch_size, /*trial=*/0);
+  Timer timer;
+  g.InsertBatch(batch);
+  double total_s = timer.Seconds();
+
+  const PmaStats& stats = g.pma().stats();
+  double pma_s = stats.search_seconds + stats.move_seconds;
+  std::printf(
+      "%-4s batch=%llu total %.3fs | Fig.4a PMA share %5.1f%% | Fig.4b "
+      "search %5.1f%% move %5.1f%% | moved %llu elems, %llu rebalances, %llu "
+      "resizes\n",
+      spec.name.c_str(), static_cast<unsigned long long>(batch_size), total_s,
+      100.0 * pma_s / total_s,
+      pma_s > 0 ? 100.0 * stats.search_seconds / pma_s : 0.0,
+      pma_s > 0 ? 100.0 * stats.move_seconds / pma_s : 0.0,
+      static_cast<unsigned long long>(stats.elements_moved),
+      static_cast<unsigned long long>(stats.rebalances),
+      static_cast<unsigned long long>(stats.resizes));
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lsg
+
+int main() {
+  using namespace lsg;
+  using namespace lsg::bench;
+  PrintHeader("Fig. 4: Terrace insertion-time breakdown (single thread)");
+  for (const DatasetSpec& spec : BenchDatasets()) {
+    if (spec.name == "FR") {
+      continue;  // Terrace omitted on FR throughout the paper
+    }
+    RunDataset(spec);
+  }
+  return 0;
+}

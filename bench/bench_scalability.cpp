@@ -1,0 +1,68 @@
+// Figure 17: multi-thread scaling of a large insertion batch on OR across
+// the four systems.
+//
+// Expected shape: LSGraph, Aspen, and PaC-tree scale with threads (per-vertex
+// parallelism, no shared structure); Terrace plateaus — all its medium-degree
+// inserts serialize on the shared PMA lock.
+//
+// Note: the benchmark machine may have few physical cores; thread counts
+// beyond them show oversubscription, not algorithmic scaling. The ranking
+// between systems is the reproducible signal.
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace lsg {
+namespace bench {
+namespace {
+
+std::vector<size_t> ThreadCounts() {
+  return {1, 2, 4, 8};
+}
+
+void Run(const DatasetSpec& spec) {
+  uint64_t batch_size = BenchScale() == Scale::kFull ? 10000000 : 200000;
+  std::vector<Edge> batch = BuildUpdateBatch(spec, batch_size, /*trial=*/0);
+  std::printf("%-9s", "threads");
+  for (size_t t : ThreadCounts()) {
+    std::printf(" %10zu", t);
+  }
+  std::printf("   (insert throughput, edges/s)\n");
+
+  auto run_system = [&](const char* name, auto factory) {
+    std::printf("%-9s", name);
+    for (size_t threads : ThreadCounts()) {
+      ThreadPool pool(threads);
+      auto g = factory(&pool);
+      Timer timer;
+      g->InsertBatch(batch);
+      double seconds = timer.Seconds();
+      std::printf(" %10.3e", Throughput(batch_size, seconds));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  };
+
+  run_system("LSGraph",
+             [&](ThreadPool* p) { return MakeLsGraph(spec, p); });
+  run_system("Terrace", [&](ThreadPool* p) { return MakeTerrace(spec, p); });
+  run_system("Aspen", [&](ThreadPool* p) { return MakeAspen(spec, p); });
+  run_system("PaC-tree",
+             [&](ThreadPool* p) { return MakePacTree(spec, p); });
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lsg
+
+int main() {
+  using namespace lsg;
+  using namespace lsg::bench;
+  PrintHeader("Fig. 17: insert scalability vs thread count on OR");
+  for (const DatasetSpec& spec : BenchDatasets()) {
+    if (spec.name == "OR") {
+      Run(spec);
+    }
+  }
+  return 0;
+}

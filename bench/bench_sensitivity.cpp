@@ -1,0 +1,67 @@
+// Figures 14 and 15: sensitivity of LSGraph to the space amplification
+// factor α and the RIA/HITree threshold M, on LJ, RM, and TW.
+//   Fig. 14 — time to insert the large batch, per (α, M).
+//   Fig. 15 — PageRank time, per (α, M).
+//
+// Expected shape: smaller α slows updates (more movement), especially from
+// 1.2 to 1.1; large α slows analytics slightly; update time grows with M at
+// small α on high-degree graphs; analytics flat beyond M = 2^12.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/analytics/pagerank.h"
+
+namespace lsg {
+namespace bench {
+namespace {
+
+const double kAlphas[] = {1.1, 1.2, 1.3, 1.5, 2.0};
+
+std::vector<uint32_t> MThresholds() {
+  // Paper sweeps 2^12..2^16; scaled runs shrink the graph, so scale M too.
+  if (BenchScale() == Scale::kFull) {
+    return {1 << 12, 1 << 13, 1 << 14, 1 << 15, 1 << 16};
+  }
+  return {1 << 8, 1 << 10, 1 << 12, 1 << 14};
+}
+
+void RunDataset(const DatasetSpec& spec, ThreadPool& pool) {
+  std::printf("\n--- %s ---\n", spec.name.c_str());
+  uint64_t batch_size = LargeBatch();
+  std::vector<Edge> batch = BuildUpdateBatch(spec, batch_size, /*trial=*/0);
+  for (double alpha : kAlphas) {
+    for (uint32_t m : MThresholds()) {
+      Options options;
+      options.alpha = alpha;
+      options.m_threshold = m;
+      auto g = MakeLsGraph(spec, &pool, options);
+      Timer timer;
+      g->InsertBatch(batch);
+      double insert_s = timer.Seconds();
+      timer.Reset();
+      (void)PageRank(*g, pool);
+      double pr_s = timer.Seconds();
+      std::printf(
+          "alpha=%.1f M=2^%-2d  Fig.14 insert %8.3fs  Fig.15 PR %8.4fs\n",
+          alpha, 31 - __builtin_clz(m), insert_s, pr_s);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lsg
+
+int main() {
+  using namespace lsg;
+  using namespace lsg::bench;
+  PrintHeader("Figs. 14-15: alpha / M sensitivity (insert + PageRank)");
+  ThreadPool pool;
+  for (const DatasetSpec& spec : BenchDatasets()) {
+    if (spec.name != "LJ" && spec.name != "RM" && spec.name != "TW") {
+      continue;  // the paper's sensitivity study uses LJ, RM, TW
+    }
+    RunDataset(spec, pool);
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// §6.1's baseline-selection experiment: "we have conducted the experiments
+// to compare PaC-tree and Sortledton... PaC-tree outperforms Sortledton",
+// which is why the paper uses PaC-tree as its third baseline. This binary
+// reruns that comparison (plus LSGraph for reference) on update throughput
+// and BFS.
+//
+// Known deviation: the paper reports PaC-tree 40-142x ahead of Sortledton.
+// Our Sortledton reimplements only its data structure (array + unrolled
+// skip list), not its transactional machinery (per-vertex latches, version
+// management), which is where the real system's update overhead lives — so
+// this lean Sortledton measures *faster* than PaC-tree here. See
+// EXPERIMENTS.md for discussion.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/analytics/bfs.h"
+#include "src/baselines/sortledton_graph.h"
+
+namespace lsg {
+namespace bench {
+namespace {
+
+void RunDataset(const DatasetSpec& spec, ThreadPool& pool) {
+  uint64_t batch_size = LargeBatch();
+  std::vector<Edge> batch = BuildUpdateBatch(spec, batch_size, 0);
+
+  auto measure = [&](auto& g) {
+    auto [ins_s, del_s] = TimeInsertDeleteRound(g, batch);
+    (void)Bfs(g, 0, pool);  // warmup
+    Timer timer;
+    (void)Bfs(g, 0, pool);
+    return std::tuple{Throughput(batch_size, ins_s),
+                      Throughput(batch_size, del_s), timer.Seconds()};
+  };
+
+  SortledtonGraph sortledton(NumVerticesFor(spec), &pool);
+  sortledton.BuildFromEdges(BuildDatasetEdges(spec));
+  auto [sl_ins, sl_del, sl_bfs] = measure(sortledton);
+
+  auto pactree = MakePacTree(spec, &pool);
+  auto [pt_ins, pt_del, pt_bfs] = measure(*pactree);
+
+  auto lsgraph = MakeLsGraph(spec, &pool);
+  auto [ls_ins, ls_del, ls_bfs] = measure(*lsgraph);
+
+  std::printf(
+      "%-4s insert e/s: Sortledton %9.3e  PaC %9.3e (%.2fx)  LSGraph %9.3e "
+      "(%.2fx) | BFS s: %.4f / %.4f / %.4f\n",
+      spec.name.c_str(), sl_ins, pt_ins, sl_ins > 0 ? pt_ins / sl_ins : 0.0,
+      ls_ins, sl_ins > 0 ? ls_ins / sl_ins : 0.0, sl_bfs, pt_bfs, ls_bfs);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lsg
+
+int main() {
+  using namespace lsg;
+  using namespace lsg::bench;
+  PrintHeader("§6.1: PaC-tree vs Sortledton (baseline-selection experiment)");
+  ThreadPool pool;
+  for (const DatasetSpec& spec : BenchDatasets()) {
+    if (spec.name == "LJ" || spec.name == "OR" || spec.name == "TW") {
+      RunDataset(spec, pool);
+    }
+  }
+  return 0;
+}

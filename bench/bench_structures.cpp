@@ -1,0 +1,199 @@
+// Google-benchmark microbenchmarks of the individual data structures:
+// insert / lookup / ordered-scan cost of RIA, LIA, HiNode, PMA, B-tree, and
+// C-tree at several sizes. These quantify the per-structure claims behind
+// Figs. 4 and 12 (search cost, movement cost, pointer-chasing cost).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/btree/btree_set.h"
+#include "src/core/hitree.h"
+#include "src/core/options.h"
+#include "src/core/ria.h"
+#include "src/ctree/ctree.h"
+#include "src/pma/pma.h"
+#include "src/util/prng.h"
+
+namespace lsg {
+namespace {
+
+std::vector<VertexId> RandomIds(size_t n, uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<VertexId> ids;
+  ids.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    ids.push_back(static_cast<VertexId>(rng.Next() >> 2));
+  }
+  return ids;
+}
+
+std::vector<VertexId> SortedUnique(std::vector<VertexId> ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+// ---- Insert ----
+
+void BM_RiaInsert(benchmark::State& state) {
+  std::vector<VertexId> ids = RandomIds(state.range(0), 1);
+  for (auto _ : state) {
+    Ria ria{Options{}};
+    for (VertexId v : ids) {
+      ria.Insert(v);
+    }
+    benchmark::DoNotOptimize(ria.size());
+  }
+  state.SetItemsProcessed(state.iterations() * ids.size());
+}
+BENCHMARK(BM_RiaInsert)->Arg(1000)->Arg(100000);
+
+void BM_PmaInsert(benchmark::State& state) {
+  std::vector<VertexId> ids = RandomIds(state.range(0), 1);
+  for (auto _ : state) {
+    Pma pma;
+    for (VertexId v : ids) {
+      pma.Insert(v);
+    }
+    benchmark::DoNotOptimize(pma.size());
+  }
+  state.SetItemsProcessed(state.iterations() * ids.size());
+}
+BENCHMARK(BM_PmaInsert)->Arg(1000)->Arg(100000);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  std::vector<VertexId> ids = RandomIds(state.range(0), 1);
+  for (auto _ : state) {
+    BTreeSet tree;
+    for (VertexId v : ids) {
+      tree.Insert(v);
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * ids.size());
+}
+BENCHMARK(BM_BTreeInsert)->Arg(1000)->Arg(100000);
+
+void BM_CTreeInsert(benchmark::State& state) {
+  std::vector<VertexId> ids = RandomIds(state.range(0), 1);
+  for (auto _ : state) {
+    CTree tree(16);
+    for (VertexId v : ids) {
+      tree.Insert(v);
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * ids.size());
+}
+BENCHMARK(BM_CTreeInsert)->Arg(1000)->Arg(100000);
+
+void BM_HiNodeInsert(benchmark::State& state) {
+  std::vector<VertexId> ids = RandomIds(state.range(0), 1);
+  for (auto _ : state) {
+    HiNode node{Options{}};
+    for (VertexId v : ids) {
+      node.Insert(v);
+    }
+    benchmark::DoNotOptimize(node.size());
+  }
+  state.SetItemsProcessed(state.iterations() * ids.size());
+}
+BENCHMARK(BM_HiNodeInsert)->Arg(1000)->Arg(100000);
+
+// ---- Lookup ----
+
+template <typename Structure>
+void LookupLoop(benchmark::State& state, Structure& s,
+                const std::vector<VertexId>& probes) {
+  size_t hits = 0;
+  for (auto _ : state) {
+    for (VertexId v : probes) {
+      hits += s.Contains(v);
+    }
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations() * probes.size());
+}
+
+void BM_RiaLookup(benchmark::State& state) {
+  std::vector<VertexId> ids = SortedUnique(RandomIds(state.range(0), 2));
+  Ria ria{Options{}};
+  ria.BulkLoad(ids);
+  LookupLoop(state, ria, ids);
+}
+BENCHMARK(BM_RiaLookup)->Arg(100000);
+
+void BM_PmaLookup(benchmark::State& state) {
+  std::vector<VertexId> ids = SortedUnique(RandomIds(state.range(0), 2));
+  Pma pma;
+  for (VertexId v : ids) {
+    pma.Insert(v);
+  }
+  LookupLoop(state, pma, ids);
+}
+BENCHMARK(BM_PmaLookup)->Arg(100000);
+
+void BM_HiNodeLookup(benchmark::State& state) {
+  std::vector<VertexId> ids = SortedUnique(RandomIds(state.range(0), 2));
+  HiNode node{Options{}};
+  node.BulkLoad(ids);
+  LookupLoop(state, node, ids);
+}
+BENCHMARK(BM_HiNodeLookup)->Arg(100000);
+
+void BM_CTreeLookup(benchmark::State& state) {
+  std::vector<VertexId> ids = SortedUnique(RandomIds(state.range(0), 2));
+  CTree tree(16);
+  tree.BulkLoad(ids);
+  LookupLoop(state, tree, ids);
+}
+BENCHMARK(BM_CTreeLookup)->Arg(100000);
+
+// ---- Ordered scan (the analytics access pattern) ----
+
+template <typename Structure>
+void ScanLoop(benchmark::State& state, const Structure& s, size_t n) {
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    s.Map([&sum](VertexId v) { sum += v; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_RiaScan(benchmark::State& state) {
+  std::vector<VertexId> ids = SortedUnique(RandomIds(state.range(0), 3));
+  Ria ria{Options{}};
+  ria.BulkLoad(ids);
+  ScanLoop(state, ria, ids.size());
+}
+BENCHMARK(BM_RiaScan)->Arg(1000000);
+
+void BM_HiNodeScan(benchmark::State& state) {
+  std::vector<VertexId> ids = SortedUnique(RandomIds(state.range(0), 3));
+  HiNode node{Options{}};
+  node.BulkLoad(ids);
+  ScanLoop(state, node, ids.size());
+}
+BENCHMARK(BM_HiNodeScan)->Arg(1000000);
+
+void BM_CTreeScan(benchmark::State& state) {
+  std::vector<VertexId> ids = SortedUnique(RandomIds(state.range(0), 3));
+  CTree tree(16);
+  tree.BulkLoad(ids);
+  ScanLoop(state, tree, ids.size());
+}
+BENCHMARK(BM_CTreeScan)->Arg(1000000);
+
+void BM_BTreeScan(benchmark::State& state) {
+  std::vector<VertexId> ids = SortedUnique(RandomIds(state.range(0), 3));
+  BTreeSet tree;
+  tree.BulkLoad(ids);
+  ScanLoop(state, tree, ids.size());
+}
+BENCHMARK(BM_BTreeScan)->Arg(1000000);
+
+}  // namespace
+}  // namespace lsg
+
+BENCHMARK_MAIN();

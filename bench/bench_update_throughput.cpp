@@ -1,0 +1,104 @@
+// Figure 12 (plus §6.2 text): insertion throughput (edges/second) for
+// batch sizes on every graph, for Terrace / Aspen / PaC-tree / LSGraph.
+// Also reports deletion throughput and a small-batch (size 10) round, both
+// discussed in §6.2's prose.
+//
+// Expected shape: LSGraph highest everywhere; Terrace flattens or degrades
+// as batches grow (shared-PMA movement); Aspen/PaC-tree improve with batch
+// size but stay below LSGraph; Terrace is skipped on FR as in the paper.
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace lsg {
+namespace bench {
+namespace {
+
+struct Row {
+  std::string system;
+  uint64_t batch;
+  double insert_tput;
+  double delete_tput;
+};
+
+template <typename G>
+void RunSystem(const char* name, G& g, const DatasetSpec& spec,
+               std::vector<Row>* rows) {
+  for (uint64_t batch_size : BatchSizes()) {
+    std::vector<Edge> batch = BuildUpdateBatch(spec, batch_size, /*trial=*/0);
+    auto [ins_s, del_s] = TimeInsertDeleteRound(g, batch);
+    rows->push_back(Row{name, batch_size, Throughput(batch_size, ins_s),
+                        Throughput(batch_size, del_s)});
+  }
+  // Small-batch round (batch size 10, §6.2 text).
+  std::vector<Edge> small = BuildUpdateBatch(spec, 10, /*trial=*/1);
+  auto [ins_s, del_s] = TimeInsertDeleteRound(g, small);
+  rows->push_back(Row{name, 10, Throughput(10, ins_s), Throughput(10, del_s)});
+}
+
+void RunDataset(const DatasetSpec& spec, ThreadPool& pool) {
+  std::printf("\n--- %s (|V|=%u) ---\n", spec.name.c_str(),
+              NumVerticesFor(spec));
+  std::vector<Row> rows;
+  {
+    auto g = MakeLsGraph(spec, &pool);
+    RunSystem("LSGraph", *g, spec, &rows);
+  }
+  // Terrace on the largest graph is omitted, as in the paper ("throughputs
+  // of the FR graph for Terrace are omitted because of time constraints").
+  if (spec.name != "FR") {
+    auto g = MakeTerrace(spec, &pool);
+    RunSystem("Terrace", *g, spec, &rows);
+  }
+  {
+    auto g = MakeAspen(spec, &pool);
+    RunSystem("Aspen", *g, spec, &rows);
+  }
+  {
+    auto g = MakePacTree(spec, &pool);
+    RunSystem("PaC-tree", *g, spec, &rows);
+  }
+
+  std::printf("%-9s %12s %16s %16s\n", "system", "batch", "insert(e/s)",
+              "delete(e/s)");
+  for (const Row& r : rows) {
+    std::printf("%-9s %12llu %16.3e %16.3e\n", r.system.c_str(),
+                static_cast<unsigned long long>(r.batch), r.insert_tput,
+                r.delete_tput);
+  }
+  // Speedup summary at the largest batch (the headline comparison).
+  uint64_t big = BatchSizes().back();
+  auto find = [&rows, big](const std::string& name) -> const Row* {
+    for (const Row& r : rows) {
+      if (r.system == name && r.batch == big) {
+        return &r;
+      }
+    }
+    return nullptr;
+  };
+  const Row* ls = find("LSGraph");
+  for (const char* other : {"Terrace", "Aspen", "PaC-tree"}) {
+    const Row* r = find(other);
+    if (ls != nullptr && r != nullptr && r->insert_tput > 0) {
+      std::printf("speedup vs %-9s at batch %llu: insert %.2fx delete %.2fx\n",
+                  other, static_cast<unsigned long long>(big),
+                  ls->insert_tput / r->insert_tput,
+                  ls->delete_tput / r->delete_tput);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lsg
+
+int main() {
+  using namespace lsg;
+  using namespace lsg::bench;
+  PrintHeader("Fig. 12: update throughput vs batch size (4 systems, 5 graphs)");
+  ThreadPool pool;
+  for (const DatasetSpec& spec : BenchDatasets()) {
+    RunDataset(spec, pool);
+  }
+  return 0;
+}

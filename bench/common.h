@@ -1,0 +1,175 @@
+// Shared benchmark harness: dataset construction, engine factories, timing,
+// and table printing for the per-figure experiment binaries.
+//
+// Scaling: the paper ran on a 64-core, 1 TB machine with billion-edge
+// graphs. These binaries default to laptop-scale proxies (see DESIGN.md §3)
+// and honor LSG_BENCH_SCALE={tiny,small,full} to shrink or enlarge every
+// experiment proportionally. Shapes (who wins, crossovers) are scale-stable;
+// absolute numbers are not comparable to the paper's testbed.
+#ifndef BENCH_COMMON_H_
+#define BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/ctree_graph.h"
+#include "src/baselines/terrace_graph.h"
+#include "src/core/lsgraph.h"
+#include "src/gen/datasets.h"
+#include "src/parallel/thread_pool.h"
+#include "src/util/sort.h"
+#include "src/util/timer.h"
+
+namespace lsg {
+namespace bench {
+
+enum class Scale { kTiny, kSmall, kFull };
+
+inline Scale BenchScale() {
+  const char* env = std::getenv("LSG_BENCH_SCALE");
+  if (env == nullptr) {
+    return Scale::kSmall;
+  }
+  if (std::strcmp(env, "tiny") == 0) {
+    return Scale::kTiny;
+  }
+  if (std::strcmp(env, "full") == 0) {
+    return Scale::kFull;
+  }
+  return Scale::kSmall;
+}
+
+// Paper datasets with scale-dependent shrink applied to vertex counts.
+inline std::vector<DatasetSpec> BenchDatasets() {
+  std::vector<DatasetSpec> specs = PaperDatasets();
+  int shrink;
+  switch (BenchScale()) {
+    case Scale::kTiny:
+      shrink = 5;
+      break;
+    case Scale::kSmall:
+      shrink = 2;
+      break;
+    case Scale::kFull:
+      shrink = 0;
+      break;
+  }
+  for (DatasetSpec& s : specs) {
+    s.scale -= shrink;
+  }
+  return specs;
+}
+
+// Update batch sizes swept by Fig. 12 (paper: 1e4..1e8; scaled down here).
+inline std::vector<uint64_t> BatchSizes() {
+  switch (BenchScale()) {
+    case Scale::kTiny:
+      return {1000, 10000, 100000};
+    case Scale::kSmall:
+      return {1000, 10000, 100000, 1000000};
+    case Scale::kFull:
+      return {10000, 100000, 1000000, 10000000, 100000000};
+  }
+  return {};
+}
+
+// The "large batch" used by Figs. 14/16 (paper: 1e8).
+inline uint64_t LargeBatch() {
+  switch (BenchScale()) {
+    case Scale::kTiny:
+      return 100000;
+    case Scale::kSmall:
+      return 1000000;
+    case Scale::kFull:
+      return 100000000;
+  }
+  return 0;
+}
+
+inline VertexId NumVerticesFor(const DatasetSpec& spec) {
+  return VertexId{1} << spec.scale;
+}
+
+// ---- Engine factories keyed by name, so harnesses can loop systems. ----
+
+struct Engines {
+  std::unique_ptr<LSGraph> lsgraph;
+  std::unique_ptr<TerraceGraph> terrace;
+  std::unique_ptr<AspenGraph> aspen;
+  std::unique_ptr<PacTreeGraph> pactree;
+};
+
+inline std::unique_ptr<LSGraph> MakeLsGraph(const DatasetSpec& spec,
+                                            ThreadPool* pool,
+                                            Options options = {}) {
+  auto g = std::make_unique<LSGraph>(NumVerticesFor(spec), options, pool);
+  g->BuildFromEdges(BuildDatasetEdges(spec));
+  return g;
+}
+
+inline std::unique_ptr<TerraceGraph> MakeTerrace(const DatasetSpec& spec,
+                                                 ThreadPool* pool) {
+  auto g = std::make_unique<TerraceGraph>(NumVerticesFor(spec),
+                                          TerraceOptions{}, pool);
+  g->BuildFromEdges(BuildDatasetEdges(spec));
+  return g;
+}
+
+inline std::unique_ptr<AspenGraph> MakeAspen(const DatasetSpec& spec,
+                                             ThreadPool* pool) {
+  auto g = std::make_unique<AspenGraph>(NumVerticesFor(spec), pool);
+  g->BuildFromEdges(BuildDatasetEdges(spec));
+  return g;
+}
+
+inline std::unique_ptr<PacTreeGraph> MakePacTree(const DatasetSpec& spec,
+                                                 ThreadPool* pool) {
+  auto g = std::make_unique<PacTreeGraph>(NumVerticesFor(spec), pool);
+  g->BuildFromEdges(BuildDatasetEdges(spec));
+  return g;
+}
+
+// Times one insert-then-delete round (the paper's §6.2 protocol: a batch is
+// inserted and subsequently deleted so the snapshot is unchanged between
+// rounds). Only the genuinely-new edges are deleted, computed outside the
+// timed region, so base-graph edges survive. Returns
+// {insert_seconds, delete_seconds}.
+template <typename G>
+std::pair<double, double> TimeInsertDeleteRound(G& g,
+                                                const std::vector<Edge>& batch) {
+  std::vector<Edge> fresh(batch.begin(), batch.end());
+  RadixSortEdges(fresh);
+  DedupSortedEdges(fresh);
+  std::erase_if(fresh, [&g](const Edge& e) { return g.HasEdge(e.src, e.dst); });
+
+  Timer timer;
+  g.InsertBatch(batch);
+  double insert_s = timer.Seconds();
+  timer.Reset();
+  g.DeleteBatch(fresh);
+  double delete_s = timer.Seconds();
+  return {insert_s, delete_s};
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("scale=%s (set LSG_BENCH_SCALE=tiny|small|full)\n",
+              BenchScale() == Scale::kTiny    ? "tiny"
+              : BenchScale() == Scale::kSmall ? "small"
+                                              : "full");
+  std::printf("================================================================\n");
+}
+
+inline double Throughput(uint64_t edges, double seconds) {
+  return seconds > 0 ? static_cast<double>(edges) / seconds : 0.0;
+}
+
+}  // namespace bench
+}  // namespace lsg
+
+#endif  // BENCH_COMMON_H_

@@ -1,0 +1,92 @@
+// Single-source betweenness centrality (Brandes) over any engine.
+//
+// Level-synchronous: a BFS records per-level frontiers, path counts are
+// pulled from the previous level, and dependencies accumulate backwards.
+// Pulls use the neighbor list as the in-edge list, valid on the symmetrized
+// evaluation graphs (§6.1).
+#ifndef SRC_ANALYTICS_BC_H_
+#define SRC_ANALYTICS_BC_H_
+
+#include <atomic>
+#include <vector>
+
+#include "src/core/edgemap.h"
+#include "src/parallel/thread_pool.h"
+#include "src/util/graph_types.h"
+
+namespace lsg {
+
+template <typename G>
+std::vector<double> BetweennessCentrality(const G& g, VertexId source,
+                                          ThreadPool& pool) {
+  VertexId n = g.num_vertices();
+  std::vector<uint32_t> level(n, ~uint32_t{0});
+  std::vector<double> sigma(n, 0.0);
+  std::vector<std::vector<VertexId>> levels;
+
+  level[source] = 0;
+  sigma[source] = 1.0;
+  std::vector<std::atomic<VertexId>> owner(n);
+  for (VertexId v = 0; v < n; ++v) {
+    owner[v].store(kInvalidVertex, std::memory_order_relaxed);
+  }
+  owner[source].store(source, std::memory_order_relaxed);
+
+  VertexSubset frontier = VertexSubset::Single(n, source);
+  levels.push_back(frontier.vertices());
+  uint32_t depth = 0;
+  while (!frontier.empty()) {
+    ++depth;
+    frontier = EdgeMap(
+        g, frontier,
+        [&owner](VertexId u, VertexId v) {
+          VertexId expected = kInvalidVertex;
+          return owner[v].compare_exchange_strong(expected, u,
+                                                  std::memory_order_relaxed);
+        },
+        [&owner](VertexId v) {
+          return owner[v].load(std::memory_order_relaxed) == kInvalidVertex;
+        },
+        pool);
+    if (frontier.empty()) {
+      break;
+    }
+    for (VertexId v : frontier.vertices()) {
+      level[v] = depth;
+    }
+    // Pull path counts from the previous level.
+    pool.ParallelFor(0, frontier.size(), [&](size_t i) {
+      VertexId v = frontier.vertices()[i];
+      double sum = 0.0;
+      g.map_neighbors(v, [&](VertexId u) {
+        if (level[u] + 1 == level[v]) {
+          sum += sigma[u];
+        }
+      });
+      sigma[v] = sum;
+    });
+    levels.push_back(frontier.vertices());
+  }
+
+  // Backward dependency accumulation.
+  std::vector<double> delta(n, 0.0);
+  for (size_t d = levels.size(); d-- > 1;) {
+    const std::vector<VertexId>& frontier_d = levels[d - 1];
+    pool.ParallelFor(0, frontier_d.size(), [&](size_t i) {
+      VertexId v = frontier_d[i];
+      double sum = 0.0;
+      g.map_neighbors(v, [&](VertexId w) {
+        if (level[w] == level[v] + 1 && sigma[w] != 0.0) {
+          sum += sigma[v] / sigma[w] * (1.0 + delta[w]);
+        }
+      });
+      delta[v] += sum;
+    });
+  }
+  delta[source] = 0.0;
+  return delta;
+}
+
+}  // namespace lsg
+
+#endif  // SRC_ANALYTICS_BC_H_

@@ -1,0 +1,57 @@
+// Parallel connected components by frontier-driven label propagation.
+//
+// Every vertex starts labeled with its own id; active vertices push their
+// label to neighbors with an atomic min until no label changes. Correct on
+// the symmetrized evaluation graphs (undirected connectivity).
+#ifndef SRC_ANALYTICS_CC_H_
+#define SRC_ANALYTICS_CC_H_
+
+#include <atomic>
+#include <vector>
+
+#include "src/core/edgemap.h"
+#include "src/parallel/thread_pool.h"
+#include "src/util/graph_types.h"
+
+namespace lsg {
+
+template <typename G>
+std::vector<VertexId> ConnectedComponents(const G& g, ThreadPool& pool) {
+  VertexId n = g.num_vertices();
+  std::vector<std::atomic<VertexId>> label(n);
+  for (VertexId v = 0; v < n; ++v) {
+    label[v].store(v, std::memory_order_relaxed);
+  }
+  // A vertex may be re-lowered several times per round; the `queued` bitset
+  // keeps it from entering the next frontier more than once.
+  AtomicBitset queued(n);
+  VertexSubset frontier = VertexSubset::All(n);
+  while (!frontier.empty()) {
+    queued.Clear();
+    frontier = EdgeMap(
+        g, frontier,
+        [&label, &queued](VertexId u, VertexId v) {
+          VertexId mine = label[u].load(std::memory_order_relaxed);
+          VertexId theirs = label[v].load(std::memory_order_relaxed);
+          bool lowered = false;
+          while (mine < theirs) {
+            if (label[v].compare_exchange_weak(theirs, mine,
+                                               std::memory_order_relaxed)) {
+              lowered = true;
+              break;
+            }
+          }
+          return lowered && queued.TestAndSet(v);
+        },
+        [](VertexId) { return true; }, pool);
+  }
+  std::vector<VertexId> result(n);
+  for (VertexId v = 0; v < n; ++v) {
+    result[v] = label[v].load(std::memory_order_relaxed);
+  }
+  return result;
+}
+
+}  // namespace lsg
+
+#endif  // SRC_ANALYTICS_CC_H_

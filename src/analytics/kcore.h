@@ -1,0 +1,72 @@
+// k-core decomposition by parallel peeling.
+//
+// Computes the coreness of every vertex: the largest k such that the vertex
+// survives in the subgraph where all vertices have degree >= k. A standard
+// Ligra-family kernel; exercises the engines' degree() and map_neighbors()
+// under frontier-driven access like BFS but with many more rounds.
+// Assumes a symmetrized graph.
+#ifndef SRC_ANALYTICS_KCORE_H_
+#define SRC_ANALYTICS_KCORE_H_
+
+#include <atomic>
+#include <vector>
+
+#include "src/core/edgemap.h"
+#include "src/parallel/thread_pool.h"
+#include "src/util/graph_types.h"
+
+namespace lsg {
+
+template <typename G>
+std::vector<uint32_t> KCoreDecomposition(const G& g, ThreadPool& pool) {
+  VertexId n = g.num_vertices();
+  std::vector<std::atomic<uint32_t>> induced(n);
+  std::vector<uint32_t> coreness(n, 0);
+  AtomicBitset peeled(n);
+  pool.ParallelFor(0, n, [&](size_t v) {
+    induced[v].store(static_cast<uint32_t>(g.degree(static_cast<VertexId>(v))),
+                     std::memory_order_relaxed);
+  });
+
+  size_t remaining = n;
+  uint32_t k = 0;
+  while (remaining > 0) {
+    // Seed with every un-peeled vertex whose induced degree is <= k.
+    VertexSubset frontier(n);
+    for (VertexId v = 0; v < n; ++v) {
+      if (!peeled.Get(v) && induced[v].load(std::memory_order_relaxed) <= k) {
+        frontier.mutable_vertices().push_back(v);
+      }
+    }
+    // Peel in waves: removing a vertex may drag neighbors under the bound.
+    while (!frontier.empty()) {
+      for (VertexId v : frontier.vertices()) {
+        coreness[v] = k;
+        peeled.Set(v);
+      }
+      remaining -= frontier.size();
+      AtomicBitset queued(n);
+      frontier = EdgeMap(
+          g, frontier,
+          [&induced, &peeled, &queued, k](VertexId, VertexId v) {
+            if (peeled.Get(v)) {
+              return false;
+            }
+            uint32_t before =
+                induced[v].fetch_sub(1, std::memory_order_relaxed);
+            return before - 1 <= k && queued.TestAndSet(v);
+          },
+          [](VertexId) { return true; }, pool);
+      // A vertex can be queued and then peeled by an earlier wave entry in
+      // the same round; filter.
+      frontier = VertexMap(
+          frontier, [&peeled](VertexId v) { return !peeled.Get(v); }, pool);
+    }
+    ++k;
+  }
+  return coreness;
+}
+
+}  // namespace lsg
+
+#endif  // SRC_ANALYTICS_KCORE_H_

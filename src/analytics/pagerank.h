@@ -1,0 +1,49 @@
+// Parallel PageRank (pull-based, fixed iteration count) over any engine.
+//
+// The evaluation graphs are symmetrized (§6.1), so a vertex's neighbor list
+// doubles as its in-edge list and the pull formulation needs no transpose.
+#ifndef SRC_ANALYTICS_PAGERANK_H_
+#define SRC_ANALYTICS_PAGERANK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/parallel/thread_pool.h"
+#include "src/util/graph_types.h"
+
+namespace lsg {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  int iterations = 20;
+};
+
+template <typename G>
+std::vector<double> PageRank(const G& g, ThreadPool& pool,
+                             PageRankOptions options = {}) {
+  VertexId n = g.num_vertices();
+  if (n == 0) {
+    return {};
+  }
+  std::vector<double> rank(n, 1.0 / n);
+  std::vector<double> contrib(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    pool.ParallelFor(0, n, [&](size_t v) {
+      size_t deg = g.degree(static_cast<VertexId>(v));
+      contrib[v] = deg != 0 ? rank[v] / deg : 0.0;
+    });
+    pool.ParallelFor(0, n, [&](size_t v) {
+      double sum = 0.0;
+      g.map_neighbors(static_cast<VertexId>(v),
+                      [&sum, &contrib](VertexId u) { sum += contrib[u]; });
+      next[v] = (1.0 - options.damping) / n + options.damping * sum;
+    });
+    rank.swap(next);
+  }
+  return rank;
+}
+
+}  // namespace lsg
+
+#endif  // SRC_ANALYTICS_PAGERANK_H_

@@ -1,0 +1,144 @@
+#include "src/baselines/ctree_graph.h"
+
+#include <atomic>
+
+#include "src/util/sort.h"
+
+namespace lsg {
+
+namespace {
+
+std::vector<size_t> GroupBySource(std::vector<Edge>& edges) {
+  RadixSortEdges(edges);
+  DedupSortedEdges(edges);
+  std::vector<size_t> starts;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (i == 0 || edges[i].src != edges[i - 1].src) {
+      starts.push_back(i);
+    }
+  }
+  starts.push_back(edges.size());
+  return starts;
+}
+
+}  // namespace
+
+CTreeGraph::CTreeGraph(VertexId num_vertices, uint32_t expected_chunk_size,
+                       ThreadPool* pool)
+    : vtree_(num_vertices, VNode{0, CTree(expected_chunk_size)}),
+      pool_(pool) {
+  // In-order traversal of the implicit tree assigns sorted vertex ids, so
+  // FindSlot's BST walk terminates at the right node.
+  VertexId next = 0;
+  // Iterative in-order over the Eytzinger layout.
+  std::vector<size_t> stack;
+  size_t i = 0;
+  size_t n = vtree_.size();
+  while (i < n || !stack.empty()) {
+    while (i < n) {
+      stack.push_back(i);
+      i = 2 * i + 1;
+    }
+    i = stack.back();
+    stack.pop_back();
+    vtree_[i].id = next++;
+    i = 2 * i + 2;
+  }
+}
+
+ThreadPool& CTreeGraph::pool() const {
+  return pool_ != nullptr ? *pool_ : ThreadPool::Global();
+}
+
+void CTreeGraph::BuildFromEdges(std::vector<Edge> edges) {
+  std::vector<size_t> starts = GroupBySource(edges);
+  size_t groups = starts.empty() ? 0 : starts.size() - 1;
+  pool().ParallelFor(0, groups, [&](size_t g) {
+    size_t begin = starts[g];
+    size_t end = starts[g + 1];
+    std::vector<VertexId> ids;
+    ids.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      ids.push_back(edges[i].dst);
+    }
+    FindTree(edges[begin].src).BulkLoad(ids);
+  });
+  num_edges_ = edges.size();
+}
+
+size_t CTreeGraph::InsertBatch(std::span<const Edge> batch) {
+  std::vector<Edge> edges(batch.begin(), batch.end());
+  std::vector<size_t> starts = GroupBySource(edges);
+  size_t groups = starts.empty() ? 0 : starts.size() - 1;
+  std::atomic<size_t> added{0};
+  pool().ParallelFor(0, groups, [&](size_t g) {
+    size_t local = 0;
+    CTree& tree = FindTree(edges[starts[g]].src);
+    for (size_t i = starts[g]; i < starts[g + 1]; ++i) {
+      local += tree.Insert(edges[i].dst);
+    }
+    added.fetch_add(local, std::memory_order_relaxed);
+  });
+  num_edges_ += added.load(std::memory_order_relaxed);
+  return added.load(std::memory_order_relaxed);
+}
+
+size_t CTreeGraph::DeleteBatch(std::span<const Edge> batch) {
+  std::vector<Edge> edges(batch.begin(), batch.end());
+  std::vector<size_t> starts = GroupBySource(edges);
+  size_t groups = starts.empty() ? 0 : starts.size() - 1;
+  std::atomic<size_t> removed{0};
+  pool().ParallelFor(0, groups, [&](size_t g) {
+    size_t local = 0;
+    CTree& tree = FindTree(edges[starts[g]].src);
+    for (size_t i = starts[g]; i < starts[g + 1]; ++i) {
+      local += tree.Delete(edges[i].dst);
+    }
+    removed.fetch_add(local, std::memory_order_relaxed);
+  });
+  num_edges_ -= removed.load(std::memory_order_relaxed);
+  return removed.load(std::memory_order_relaxed);
+}
+
+bool CTreeGraph::InsertEdge(VertexId src, VertexId dst) {
+  if (FindTree(src).Insert(dst)) {
+    ++num_edges_;
+    return true;
+  }
+  return false;
+}
+
+bool CTreeGraph::DeleteEdge(VertexId src, VertexId dst) {
+  if (FindTree(src).Delete(dst)) {
+    --num_edges_;
+    return true;
+  }
+  return false;
+}
+
+size_t CTreeGraph::memory_footprint() const {
+  size_t total = vtree_.capacity() * sizeof(VNode);
+  for (const VNode& n : vtree_) {
+    total += n.tree.memory_footprint() - sizeof(CTree);
+  }
+  return total;
+}
+
+bool CTreeGraph::CheckInvariants() const {
+  EdgeCount total = 0;
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    // The BST walk must land on the node claiming this id.
+    if (vtree_[FindSlot(v)].id != v) {
+      return false;
+    }
+  }
+  for (const VNode& n : vtree_) {
+    if (!n.tree.CheckInvariants()) {
+      return false;
+    }
+    total += n.tree.size();
+  }
+  return total == num_edges_;
+}
+
+}  // namespace lsg

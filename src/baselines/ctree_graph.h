@@ -1,0 +1,116 @@
+// Aspen / PaC-tree baselines (paper §6.1).
+//
+// Both engines store each vertex's adjacency set in a purely-functional
+// chunked search tree (src/ctree). They differ in chunking: Aspen hangs a
+// small hash-randomized chunk off every node; PaC-tree concentrates ids into
+// larger chunks so internal nodes are rare (its "arrays only at leaves"
+// layout). AspenGraph / PacTreeGraph below are the two configurations.
+//
+// Updates path-copy per edge but touch only the source vertex's tree, so
+// batches parallelize per vertex without locks — matching these systems'
+// good update scaling (Fig. 17) and their pointer-chasing analytics
+// (Fig. 13).
+//
+// Both systems are trees-of-trees: reaching a vertex's edge tree requires a
+// search of the *vertex* tree. We reproduce that access pattern with a
+// BST over vertex ids in Eytzinger (breadth-first) layout — every vertex
+// access walks log |V| compare-and-branch steps over scattered nodes, the
+// same dependent-load chain a pointer-based vertex tree costs.
+#ifndef SRC_BASELINES_CTREE_GRAPH_H_
+#define SRC_BASELINES_CTREE_GRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "src/ctree/ctree.h"
+#include "src/parallel/thread_pool.h"
+#include "src/util/graph_types.h"
+
+namespace lsg {
+
+class CTreeGraph {
+ public:
+  CTreeGraph(VertexId num_vertices, uint32_t expected_chunk_size,
+             ThreadPool* pool = nullptr);
+
+  CTreeGraph(const CTreeGraph&) = delete;
+  CTreeGraph& operator=(const CTreeGraph&) = delete;
+
+  void BuildFromEdges(std::vector<Edge> edges);
+  size_t InsertBatch(std::span<const Edge> batch);
+  size_t DeleteBatch(std::span<const Edge> batch);
+
+  // O(|V|) snapshot sharing all edge-tree structure with this graph (the
+  // purely-functional trees make this cheap — Aspen's signature feature).
+  // The snapshot is immutable-by-convention: updates to either side never
+  // affect the other, because every mutation path-copies.
+  CTreeGraph Snapshot() const { return CTreeGraph(*this, PrivateTag{}); }
+
+  bool InsertEdge(VertexId src, VertexId dst);
+  bool DeleteEdge(VertexId src, VertexId dst);
+  bool HasEdge(VertexId src, VertexId dst) const {
+    return FindTree(src).Contains(dst);
+  }
+
+  VertexId num_vertices() const { return static_cast<VertexId>(vtree_.size()); }
+  EdgeCount num_edges() const { return num_edges_; }
+  size_t degree(VertexId v) const { return FindTree(v).size(); }
+
+  template <typename F>
+  void map_neighbors(VertexId v, F&& f) const {
+    FindTree(v).Map(f);
+  }
+
+  size_t memory_footprint() const;
+
+  bool CheckInvariants() const;
+
+ private:
+  struct VNode {
+    VertexId id;
+    CTree tree;
+  };
+
+  // Snapshot constructor: copies the vertex array; edge trees share nodes.
+  struct PrivateTag {};
+  CTreeGraph(const CTreeGraph& o, PrivateTag)
+      : vtree_(o.vtree_), num_edges_(o.num_edges_), pool_(o.pool_) {}
+
+  ThreadPool& pool() const;
+
+  // Vertex-tree search: walks the Eytzinger BST from the root.
+  const CTree& FindTree(VertexId v) const { return vtree_[FindSlot(v)].tree; }
+  CTree& FindTree(VertexId v) { return vtree_[FindSlot(v)].tree; }
+  size_t FindSlot(VertexId v) const {
+    size_t i = 0;
+    for (;;) {
+      const VNode& n = vtree_[i];
+      if (v == n.id) {
+        return i;
+      }
+      i = 2 * i + 1 + (v > n.id ? 1 : 0);
+    }
+  }
+
+  std::vector<VNode> vtree_;  // BST over vertex ids, Eytzinger layout
+  EdgeCount num_edges_ = 0;
+  ThreadPool* pool_ = nullptr;
+};
+
+// Aspen: small randomized chunks at every node.
+class AspenGraph : public CTreeGraph {
+ public:
+  explicit AspenGraph(VertexId num_vertices, ThreadPool* pool = nullptr)
+      : CTreeGraph(num_vertices, /*expected_chunk_size=*/16, pool) {}
+};
+
+// PaC-tree: larger chunks; internal nodes rare.
+class PacTreeGraph : public CTreeGraph {
+ public:
+  explicit PacTreeGraph(VertexId num_vertices, ThreadPool* pool = nullptr)
+      : CTreeGraph(num_vertices, /*expected_chunk_size=*/64, pool) {}
+};
+
+}  // namespace lsg
+
+#endif  // SRC_BASELINES_CTREE_GRAPH_H_

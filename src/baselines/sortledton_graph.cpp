@@ -1,0 +1,153 @@
+#include "src/baselines/sortledton_graph.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "src/util/sort.h"
+
+namespace lsg {
+
+namespace {
+
+std::vector<size_t> GroupBySource(std::vector<Edge>& edges) {
+  RadixSortEdges(edges);
+  DedupSortedEdges(edges);
+  std::vector<size_t> starts;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (i == 0 || edges[i].src != edges[i - 1].src) {
+      starts.push_back(i);
+    }
+  }
+  starts.push_back(edges.size());
+  return starts;
+}
+
+}  // namespace
+
+bool SortledtonGraph::InsertIntoVertex(Adjacency& a, VertexId dst) {
+  if (a.big != nullptr) {
+    return a.big->Insert(dst);
+  }
+  auto it = std::lower_bound(a.small.begin(), a.small.end(), dst);
+  if (it != a.small.end() && *it == dst) {
+    return false;
+  }
+  a.small.insert(it, dst);
+  if (a.small.size() > kSmallSetMax) {
+    a.big = std::make_unique<BlockSkipList>();
+    a.big->BulkLoad(a.small);
+    a.small.clear();
+    a.small.shrink_to_fit();
+  }
+  return true;
+}
+
+bool SortledtonGraph::DeleteFromVertex(Adjacency& a, VertexId dst) {
+  if (a.big != nullptr) {
+    return a.big->Delete(dst);  // no downgrade to the small form
+  }
+  auto it = std::lower_bound(a.small.begin(), a.small.end(), dst);
+  if (it == a.small.end() || *it != dst) {
+    return false;
+  }
+  a.small.erase(it);
+  return true;
+}
+
+bool SortledtonGraph::HasEdge(VertexId src, VertexId dst) const {
+  const Adjacency& a = adj_[src];
+  if (a.big != nullptr) {
+    return a.big->Contains(dst);
+  }
+  return std::binary_search(a.small.begin(), a.small.end(), dst);
+}
+
+void SortledtonGraph::BuildFromEdges(std::vector<Edge> edges) {
+  std::vector<size_t> starts = GroupBySource(edges);
+  size_t groups = starts.empty() ? 0 : starts.size() - 1;
+  pool().ParallelFor(0, groups, [&](size_t g) {
+    size_t begin = starts[g];
+    size_t end = starts[g + 1];
+    Adjacency& a = adj_[edges[begin].src];
+    size_t deg = end - begin;
+    std::vector<VertexId> ids;
+    ids.reserve(deg);
+    for (size_t i = begin; i < end; ++i) {
+      ids.push_back(edges[i].dst);
+    }
+    if (deg > kSmallSetMax) {
+      a.big = std::make_unique<BlockSkipList>();
+      a.big->BulkLoad(ids);
+    } else {
+      a.small = std::move(ids);
+    }
+  });
+  num_edges_ = edges.size();
+}
+
+size_t SortledtonGraph::InsertBatch(std::span<const Edge> batch) {
+  std::vector<Edge> edges(batch.begin(), batch.end());
+  std::vector<size_t> starts = GroupBySource(edges);
+  size_t groups = starts.empty() ? 0 : starts.size() - 1;
+  std::atomic<size_t> added{0};
+  pool().ParallelFor(0, groups, [&](size_t g) {
+    size_t local = 0;
+    Adjacency& a = adj_[edges[starts[g]].src];
+    for (size_t i = starts[g]; i < starts[g + 1]; ++i) {
+      local += InsertIntoVertex(a, edges[i].dst);
+    }
+    added.fetch_add(local, std::memory_order_relaxed);
+  });
+  num_edges_ += added.load(std::memory_order_relaxed);
+  return added.load(std::memory_order_relaxed);
+}
+
+size_t SortledtonGraph::DeleteBatch(std::span<const Edge> batch) {
+  std::vector<Edge> edges(batch.begin(), batch.end());
+  std::vector<size_t> starts = GroupBySource(edges);
+  size_t groups = starts.empty() ? 0 : starts.size() - 1;
+  std::atomic<size_t> removed{0};
+  pool().ParallelFor(0, groups, [&](size_t g) {
+    size_t local = 0;
+    Adjacency& a = adj_[edges[starts[g]].src];
+    for (size_t i = starts[g]; i < starts[g + 1]; ++i) {
+      local += DeleteFromVertex(a, edges[i].dst);
+    }
+    removed.fetch_add(local, std::memory_order_relaxed);
+  });
+  num_edges_ -= removed.load(std::memory_order_relaxed);
+  return removed.load(std::memory_order_relaxed);
+}
+
+size_t SortledtonGraph::memory_footprint() const {
+  size_t total = adj_.capacity() * sizeof(Adjacency);
+  for (const Adjacency& a : adj_) {
+    total += a.small.capacity() * sizeof(VertexId);
+    if (a.big != nullptr) {
+      total += a.big->memory_footprint();
+    }
+  }
+  return total;
+}
+
+bool SortledtonGraph::CheckInvariants() const {
+  EdgeCount total = 0;
+  for (const Adjacency& a : adj_) {
+    if (a.big != nullptr) {
+      if (!a.big->CheckInvariants()) {
+        return false;
+      }
+      total += a.big->size();
+    } else {
+      if (!std::is_sorted(a.small.begin(), a.small.end()) ||
+          std::adjacent_find(a.small.begin(), a.small.end()) !=
+              a.small.end()) {
+        return false;
+      }
+      total += a.small.size();
+    }
+  }
+  return total == num_edges_;
+}
+
+}  // namespace lsg

@@ -1,0 +1,95 @@
+// Sortledton baseline (Fuchs et al., VLDB '22; paper §6.1 and §7).
+//
+// Sortledton keeps each vertex's sorted neighborhood in a plain array while
+// it is small and in an unrolled (block-based) skip list once it grows —
+// "the array and the block-based skip list" of §7. The paper measured it
+// well behind PaC-tree and dropped it from the main evaluation;
+// bench_sortledton reproduces that comparison.
+#ifndef SRC_BASELINES_SORTLEDTON_GRAPH_H_
+#define SRC_BASELINES_SORTLEDTON_GRAPH_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/parallel/thread_pool.h"
+#include "src/skiplist/block_skip_list.h"
+#include "src/util/graph_types.h"
+
+namespace lsg {
+
+class SortledtonGraph {
+ public:
+  // Degree at which a neighborhood moves from a sorted vector to the skip
+  // list (Sortledton's "small set" optimization).
+  static constexpr size_t kSmallSetMax = 256;
+
+  explicit SortledtonGraph(VertexId num_vertices, ThreadPool* pool = nullptr)
+      : adj_(num_vertices), pool_(pool) {}
+
+  SortledtonGraph(const SortledtonGraph&) = delete;
+  SortledtonGraph& operator=(const SortledtonGraph&) = delete;
+
+  void BuildFromEdges(std::vector<Edge> edges);
+  size_t InsertBatch(std::span<const Edge> batch);
+  size_t DeleteBatch(std::span<const Edge> batch);
+
+  bool InsertEdge(VertexId src, VertexId dst) {
+    if (InsertIntoVertex(adj_[src], dst)) {
+      ++num_edges_;
+      return true;
+    }
+    return false;
+  }
+  bool DeleteEdge(VertexId src, VertexId dst) {
+    if (DeleteFromVertex(adj_[src], dst)) {
+      --num_edges_;
+      return true;
+    }
+    return false;
+  }
+  bool HasEdge(VertexId src, VertexId dst) const;
+
+  VertexId num_vertices() const { return static_cast<VertexId>(adj_.size()); }
+  EdgeCount num_edges() const { return num_edges_; }
+  size_t degree(VertexId v) const {
+    const Adjacency& a = adj_[v];
+    return a.big != nullptr ? a.big->size() : a.small.size();
+  }
+
+  template <typename F>
+  void map_neighbors(VertexId v, F&& f) const {
+    const Adjacency& a = adj_[v];
+    if (a.big != nullptr) {
+      a.big->Map(f);
+    } else {
+      for (VertexId u : a.small) {
+        f(u);
+      }
+    }
+  }
+
+  size_t memory_footprint() const;
+  bool CheckInvariants() const;
+
+ private:
+  struct Adjacency {
+    std::vector<VertexId> small;          // used while degree <= kSmallSetMax
+    std::unique_ptr<BlockSkipList> big;   // used beyond
+  };
+
+  bool InsertIntoVertex(Adjacency& a, VertexId dst);
+  bool DeleteFromVertex(Adjacency& a, VertexId dst);
+
+  ThreadPool& pool() const {
+    return pool_ != nullptr ? *pool_ : ThreadPool::Global();
+  }
+
+  std::vector<Adjacency> adj_;
+  EdgeCount num_edges_ = 0;
+  ThreadPool* pool_ = nullptr;
+};
+
+}  // namespace lsg
+
+#endif  // SRC_BASELINES_SORTLEDTON_GRAPH_H_

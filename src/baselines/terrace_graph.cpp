@@ -1,0 +1,334 @@
+#include "src/baselines/terrace_graph.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+
+#include "src/util/sort.h"
+
+namespace lsg {
+
+TerraceGraph::TerraceGraph(VertexId num_vertices, TerraceOptions options,
+                           ThreadPool* pool)
+    : options_(options),
+      blocks_(num_vertices),
+      pma_(options.pma),
+      pool_(pool) {}
+
+TerraceGraph::~TerraceGraph() {
+  for (VertexBlock& vb : blocks_) {
+    delete vb.btree;
+  }
+}
+
+ThreadPool& TerraceGraph::pool() const {
+  return pool_ != nullptr ? *pool_ : ThreadPool::Global();
+}
+
+void TerraceGraph::RebuildOffsets() const {
+  std::lock_guard<std::mutex> lock(offsets_mu_);
+  if (!offsets_dirty_.load(std::memory_order_acquire)) {
+    return;  // another thread rebuilt while we waited
+  }
+  VertexId n = num_vertices();
+  offsets_.assign(n + 1, 0);
+  offsets_[n] = pma_.capacity();
+  // One pass marks each vertex's first slot; a reverse pass fills vertices
+  // with no PMA keys with their successor's offset.
+  std::vector<size_t> first(n, ~size_t{0});
+  for (size_t i = 0; i < pma_.capacity(); ++i) {
+    uint64_t key = pma_.SlotAt(i);
+    if (key == Pma::kEmpty) {
+      continue;
+    }
+    VertexId src = static_cast<VertexId>(key >> 32);
+    if (first[src] == ~size_t{0}) {
+      first[src] = i;
+    }
+  }
+  size_t next = pma_.capacity();
+  for (VertexId v = n; v-- > 0;) {
+    if (first[v] != ~size_t{0}) {
+      next = first[v];
+    }
+    offsets_[v] = next;
+  }
+  offsets_dirty_.store(false, std::memory_order_release);
+}
+
+void TerraceGraph::BuildFromEdges(std::vector<Edge> edges) {
+  RadixSortEdges(edges);
+  DedupSortedEdges(edges);
+  // Inline and B-tree parts first (parallel per vertex), PMA tails second
+  // (serial; the PMA is one shared array).
+  std::vector<size_t> starts;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (i == 0 || edges[i].src != edges[i - 1].src) {
+      starts.push_back(i);
+    }
+  }
+  starts.push_back(edges.size());
+  size_t groups = starts.empty() ? 0 : starts.size() - 1;
+  pool().ParallelFor(0, groups, [&](size_t g) {
+    size_t begin = starts[g];
+    size_t end = starts[g + 1];
+    VertexBlock& vb = blocks_[edges[begin].src];
+    size_t deg = end - begin;
+    size_t inl = std::min<size_t>(deg, kInlineCap);
+    for (size_t i = 0; i < inl; ++i) {
+      vb.inline_edges[i] = edges[begin + i].dst;
+    }
+    vb.inline_count = static_cast<uint32_t>(inl);
+    vb.degree = static_cast<uint32_t>(deg);
+    if (deg - inl > options_.high_degree_threshold) {
+      std::vector<VertexId> tail;
+      tail.reserve(deg - inl);
+      for (size_t i = begin + inl; i < end; ++i) {
+        tail.push_back(edges[i].dst);
+      }
+      vb.btree = new BTreeSet();
+      vb.btree->BulkLoad(tail);
+    }
+  });
+  for (size_t g = 0; g < groups; ++g) {
+    VertexId v = edges[starts[g]].src;
+    const VertexBlock& vb = blocks_[v];
+    if (vb.btree != nullptr || vb.degree <= vb.inline_count) {
+      continue;
+    }
+    for (size_t i = starts[g] + vb.inline_count; i < starts[g + 1]; ++i) {
+      pma_.Insert(PmaKey(v, edges[i].dst));
+    }
+  }
+  num_edges_ = edges.size();
+  offsets_dirty_.store(true, std::memory_order_release);
+}
+
+void TerraceGraph::MigrateToBTree(VertexBlock& vb, VertexId src) {
+  std::vector<VertexId> tail;
+  tail.reserve(vb.degree - vb.inline_count);
+  pma_.MapRange(PmaKey(src, 0), PmaKey(src + 1, 0), [&tail](uint64_t key) {
+    tail.push_back(static_cast<VertexId>(key));
+  });
+  for (VertexId dst : tail) {
+    pma_.Delete(PmaKey(src, dst));
+  }
+  vb.btree = new BTreeSet();
+  vb.btree->BulkLoad(tail);
+}
+
+bool TerraceGraph::InsertIntoVertex(VertexBlock& vb, VertexId src,
+                                    VertexId dst) {
+  VertexId* begin = vb.inline_edges;
+  VertexId* end = begin + vb.inline_count;
+  VertexId* it = std::lower_bound(begin, end, dst);
+  if (it != end && *it == dst) {
+    return false;
+  }
+  if (vb.inline_count < kInlineCap) {
+    std::copy_backward(it, end, end + 1);
+    *it = dst;
+    ++vb.inline_count;
+    ++vb.degree;
+    return true;
+  }
+  if (dst > end[-1]) {
+    // dst sorts after the inline run: tail insert, which may find it there.
+    bool inserted = vb.btree != nullptr ? vb.btree->Insert(dst)
+                                        : pma_.Insert(PmaKey(src, dst));
+    if (!inserted) {
+      return false;
+    }
+  } else {
+    // dst displaces the largest inline id into the tail; the spilled id is
+    // below every tail id, so it cannot be a duplicate there.
+    VertexId spilled = end[-1];
+    std::copy_backward(it, end - 1, end);
+    *it = dst;
+    bool inserted = vb.btree != nullptr ? vb.btree->Insert(spilled)
+                                        : pma_.Insert(PmaKey(src, spilled));
+    assert(inserted);
+    (void)inserted;
+  }
+  if (vb.btree == nullptr &&
+      vb.degree + 1 - vb.inline_count > options_.high_degree_threshold) {
+    MigrateToBTree(vb, src);
+  }
+  ++vb.degree;
+  return true;
+}
+
+bool TerraceGraph::DeleteFromVertex(VertexBlock& vb, VertexId src,
+                                    VertexId dst) {
+  VertexId* begin = vb.inline_edges;
+  VertexId* end = begin + vb.inline_count;
+  VertexId* it = std::lower_bound(begin, end, dst);
+  if (it != end && *it == dst) {
+    std::copy(it + 1, end, it);
+    --vb.inline_count;
+    --vb.degree;
+    if (vb.degree > vb.inline_count) {
+      // Backfill the inline run from the tail's minimum.
+      VertexId min_tail;
+      if (vb.btree != nullptr) {
+        min_tail = vb.btree->First();
+        vb.btree->Delete(min_tail);
+      } else {
+        min_tail = kInvalidVertex;
+        pma_.MapRange(PmaKey(src, 0), PmaKey(src + 1, 0),
+                      [&min_tail](uint64_t key) {
+                        if (min_tail == kInvalidVertex) {
+                          min_tail = static_cast<VertexId>(key);
+                        }
+                      });
+        pma_.Delete(PmaKey(src, min_tail));
+      }
+      vb.inline_edges[vb.inline_count++] = min_tail;
+    }
+    return true;
+  }
+  bool removed = vb.btree != nullptr ? vb.btree->Delete(dst)
+                                     : pma_.Delete(PmaKey(src, dst));
+  if (!removed) {
+    return false;
+  }
+  --vb.degree;
+  return true;
+}
+
+bool TerraceGraph::InsertEdge(VertexId src, VertexId dst) {
+  std::lock_guard<std::mutex> lock(pma_mu_);
+  if (InsertIntoVertex(blocks_[src], src, dst)) {
+    ++num_edges_;
+    offsets_dirty_.store(true, std::memory_order_release);
+    return true;
+  }
+  return false;
+}
+
+bool TerraceGraph::DeleteEdge(VertexId src, VertexId dst) {
+  std::lock_guard<std::mutex> lock(pma_mu_);
+  if (DeleteFromVertex(blocks_[src], src, dst)) {
+    --num_edges_;
+    offsets_dirty_.store(true, std::memory_order_release);
+    return true;
+  }
+  return false;
+}
+
+bool TerraceGraph::HasEdge(VertexId src, VertexId dst) const {
+  const VertexBlock& vb = blocks_[src];
+  const VertexId* end = vb.inline_edges + vb.inline_count;
+  if (std::binary_search(vb.inline_edges, end, dst)) {
+    return true;
+  }
+  if (vb.btree != nullptr) {
+    return vb.btree->Contains(dst);
+  }
+  return vb.degree > vb.inline_count && pma_.Contains(PmaKey(src, dst));
+}
+
+size_t TerraceGraph::InsertBatch(std::span<const Edge> batch) {
+  std::vector<Edge> edges(batch.begin(), batch.end());
+  RadixSortEdges(edges);
+  DedupSortedEdges(edges);
+  std::vector<size_t> starts;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (i == 0 || edges[i].src != edges[i - 1].src) {
+      starts.push_back(i);
+    }
+  }
+  starts.push_back(edges.size());
+  size_t groups = starts.empty() ? 0 : starts.size() - 1;
+  std::atomic<size_t> added{0};
+  pool().ParallelFor(0, groups, [&](size_t g) {
+    size_t local = 0;
+    VertexId src = edges[starts[g]].src;
+    VertexBlock& vb = blocks_[src];
+    for (size_t i = starts[g]; i < starts[g + 1]; ++i) {
+      // Terrace's shared array forces all PMA-resident vertices through one
+      // lock; B-tree vertices proceed independently.
+      if (vb.btree != nullptr && vb.inline_count == kInlineCap &&
+          edges[i].dst > vb.inline_edges[kInlineCap - 1]) {
+        if (vb.btree->Insert(edges[i].dst)) {
+          ++vb.degree;
+          ++local;
+        }
+        continue;
+      }
+      std::lock_guard<std::mutex> lock(pma_mu_);
+      local += InsertIntoVertex(vb, src, edges[i].dst);
+    }
+    added.fetch_add(local, std::memory_order_relaxed);
+  });
+  num_edges_ += added.load(std::memory_order_relaxed);
+  offsets_dirty_.store(true, std::memory_order_release);
+  return added.load(std::memory_order_relaxed);
+}
+
+size_t TerraceGraph::DeleteBatch(std::span<const Edge> batch) {
+  std::vector<Edge> edges(batch.begin(), batch.end());
+  RadixSortEdges(edges);
+  DedupSortedEdges(edges);
+  std::vector<size_t> starts;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (i == 0 || edges[i].src != edges[i - 1].src) {
+      starts.push_back(i);
+    }
+  }
+  starts.push_back(edges.size());
+  size_t groups = starts.empty() ? 0 : starts.size() - 1;
+  std::atomic<size_t> removed{0};
+  pool().ParallelFor(0, groups, [&](size_t g) {
+    size_t local = 0;
+    VertexId src = edges[starts[g]].src;
+    VertexBlock& vb = blocks_[src];
+    for (size_t i = starts[g]; i < starts[g + 1]; ++i) {
+      std::lock_guard<std::mutex> lock(pma_mu_);
+      local += DeleteFromVertex(vb, src, edges[i].dst);
+    }
+    removed.fetch_add(local, std::memory_order_relaxed);
+  });
+  num_edges_ -= removed.load(std::memory_order_relaxed);
+  offsets_dirty_.store(true, std::memory_order_release);
+  return removed.load(std::memory_order_relaxed);
+}
+
+size_t TerraceGraph::memory_footprint() const {
+  size_t total = blocks_.capacity() * sizeof(VertexBlock) +
+                 pma_.memory_footprint();
+  for (const VertexBlock& vb : blocks_) {
+    if (vb.btree != nullptr) {
+      total += vb.btree->memory_footprint();
+    }
+  }
+  return total;
+}
+
+bool TerraceGraph::CheckInvariants() const {
+  EdgeCount total = 0;
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    const VertexBlock& vb = blocks_[v];
+    const VertexId* end = vb.inline_edges + vb.inline_count;
+    if (!std::is_sorted(vb.inline_edges, end) ||
+        std::adjacent_find(vb.inline_edges, end) != end) {
+      return false;
+    }
+    size_t tail = vb.btree != nullptr
+                      ? vb.btree->size()
+                      : pma_.CountRange(PmaKey(v, 0), PmaKey(v + 1, 0));
+    if (vb.degree != vb.inline_count + tail) {
+      return false;
+    }
+    if (tail != 0 && vb.inline_count != kInlineCap) {
+      return false;
+    }
+    if (vb.btree != nullptr && !vb.btree->CheckInvariants()) {
+      return false;
+    }
+    total += vb.degree;
+  }
+  return total == num_edges_;
+}
+
+}  // namespace lsg

@@ -1,0 +1,141 @@
+// Terrace baseline (Pandey et al., SIGMOD '21; paper §2.3).
+//
+// Reimplements Terrace's hierarchical container: a cache-line vertex block
+// with inline neighbors per vertex, one *shared* PMA holding the
+// medium-degree tails of every vertex (keys packed as src<<32|dst, so the
+// array is globally sorted and insertions move other vertices' data — the
+// pathology Figs. 4/12/17 expose), and a per-vertex B-tree once a vertex's
+// degree crosses the high-degree threshold.
+//
+// Parallel batches lock the shared PMA (Terrace's writers contend on the
+// same array ranges), while B-tree vertices update lock-free under the
+// one-vertex-one-thread discipline.
+#ifndef SRC_BASELINES_TERRACE_GRAPH_H_
+#define SRC_BASELINES_TERRACE_GRAPH_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "src/btree/btree_set.h"
+#include "src/parallel/thread_pool.h"
+#include "src/pma/pma.h"
+#include "src/util/cache.h"
+#include "src/util/graph_types.h"
+
+namespace lsg {
+
+struct TerraceOptions {
+  // Degree above which a vertex's tail migrates from the PMA to a B-tree
+  // (Terrace's "medium/large" cutoff).
+  uint32_t high_degree_threshold = 1024;
+
+  // Terrace runs its PMA at density (0.125, 0.25) over 32-bit elements — a
+  // 4-8x space amplification (paper §3.2, Table 3). Our PMA packs
+  // (src, dst) into 64-bit keys (twice the bytes per element), so these
+  // defaults use ~2x the density to keep bytes-scanned-per-edge and total
+  // footprint calibrated to the real system; the resulting T/L memory ratio
+  // lands in the paper's 2-3x band.
+  PmaOptions pma{.leaf_lower = 0.15,
+                 .leaf_upper = 0.55,
+                 .root_lower = 0.20,
+                 .root_upper = 0.45};
+};
+
+class TerraceGraph {
+ public:
+  static constexpr size_t kInlineCap =
+      (kCacheLineBytes - 2 * sizeof(uint32_t) - sizeof(void*)) /
+      sizeof(VertexId);
+
+  TerraceGraph(VertexId num_vertices, TerraceOptions options = {},
+               ThreadPool* pool = nullptr);
+  ~TerraceGraph();
+
+  TerraceGraph(const TerraceGraph&) = delete;
+  TerraceGraph& operator=(const TerraceGraph&) = delete;
+
+  void BuildFromEdges(std::vector<Edge> edges);
+  size_t InsertBatch(std::span<const Edge> batch);
+  size_t DeleteBatch(std::span<const Edge> batch);
+
+  bool InsertEdge(VertexId src, VertexId dst);
+  bool DeleteEdge(VertexId src, VertexId dst);
+  bool HasEdge(VertexId src, VertexId dst) const;
+
+  VertexId num_vertices() const { return static_cast<VertexId>(blocks_.size()); }
+  EdgeCount num_edges() const { return num_edges_; }
+  size_t degree(VertexId v) const { return blocks_[v].degree; }
+
+  // Neighbor traversal uses Terrace's offset array into the PMA: O(1) range
+  // location plus a contiguous scan (this locality is why Terrace beats the
+  // tree engines on analytics, Fig. 3a). The offset array is rebuilt lazily
+  // after updates, mirroring Terrace's post-batch offset maintenance.
+  template <typename F>
+  void map_neighbors(VertexId v, F&& f) const {
+    const VertexBlock& vb = blocks_[v];
+    for (uint32_t i = 0; i < vb.inline_count; ++i) {
+      f(vb.inline_edges[i]);
+    }
+    if (vb.btree != nullptr) {
+      vb.btree->Map(f);
+    } else if (vb.degree > vb.inline_count) {
+      if (offsets_dirty_.load(std::memory_order_acquire)) {
+        RebuildOffsets();
+      }
+      pma_.MapSlots(offsets_[v], offsets_[v + 1],
+                    [&f](uint64_t key) { f(static_cast<VertexId>(key)); });
+    }
+  }
+
+  size_t memory_footprint() const;
+
+  // Shared-PMA instrumentation for the Fig. 4 breakdown benches.
+  const Pma& pma() const { return pma_; }
+  Pma& mutable_pma() { return pma_; }
+
+  bool CheckInvariants() const;
+
+ private:
+  struct VertexBlock {
+    uint32_t degree = 0;
+    uint32_t inline_count = 0;
+    VertexId inline_edges[kInlineCap];
+    BTreeSet* btree = nullptr;  // owned; null while the tail lives in the PMA
+  };
+  static_assert(sizeof(VertexBlock) == kCacheLineBytes);
+
+  static uint64_t PmaKey(VertexId src, VertexId dst) {
+    return (uint64_t{src} << 32) | dst;
+  }
+
+  // Tail operations; `locked` distinguishes the batch path (PMA mutex held
+  // by caller) from the serial path.
+  bool InsertIntoVertex(VertexBlock& vb, VertexId src, VertexId dst);
+  bool DeleteFromVertex(VertexBlock& vb, VertexId src, VertexId dst);
+  void MigrateToBTree(VertexBlock& vb, VertexId src);
+
+  // Recomputes the per-vertex slot offsets into the PMA.
+  void RebuildOffsets() const;
+
+  ThreadPool& pool() const;
+
+  TerraceOptions options_;
+  std::vector<VertexBlock> blocks_;
+  Pma pma_;
+  mutable std::mutex pma_mu_;  // serializes writers on the shared array
+  EdgeCount num_edges_ = 0;
+  ThreadPool* pool_ = nullptr;
+
+  // Offset array: offsets_[v] is the first PMA slot holding vertex v's keys
+  // (size num_vertices + 1). Lazily rebuilt when dirty.
+  mutable std::vector<size_t> offsets_;
+  mutable std::atomic<bool> offsets_dirty_{true};
+  mutable std::mutex offsets_mu_;
+};
+
+}  // namespace lsg
+
+#endif  // SRC_BASELINES_TERRACE_GRAPH_H_

@@ -1,0 +1,306 @@
+#include "src/btree/btree_set.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "src/util/cache.h"
+
+namespace lsg {
+
+BTreeSet::BTreeSet() = default;
+
+BTreeSet::~BTreeSet() { FreeNode(root_); }
+
+BTreeSet::BTreeSet(BTreeSet&& o) noexcept : root_(o.root_), size_(o.size_) {
+  o.root_ = nullptr;
+  o.size_ = 0;
+}
+
+BTreeSet& BTreeSet::operator=(BTreeSet&& o) noexcept {
+  if (this != &o) {
+    FreeNode(root_);
+    root_ = o.root_;
+    size_ = o.size_;
+    o.root_ = nullptr;
+    o.size_ = 0;
+  }
+  return *this;
+}
+
+BTreeSet::Node* BTreeSet::NewLeaf() {
+  Node* n = static_cast<Node*>(AlignedAlloc(sizeof(Node)));
+  n->is_leaf = true;
+  n->leaf.count = 0;
+  return n;
+}
+
+BTreeSet::Node* BTreeSet::NewInternal() {
+  Node* n = static_cast<Node*>(AlignedAlloc(sizeof(Node)));
+  n->is_leaf = false;
+  n->internal.count = 0;
+  return n;
+}
+
+void BTreeSet::FreeNode(Node* n) {
+  if (n == nullptr) {
+    return;
+  }
+  if (!n->is_leaf) {
+    for (size_t i = 0; i < n->internal.count; ++i) {
+      FreeNode(n->internal.children[i]);
+    }
+  }
+  AlignedFree(n);
+}
+
+VertexId BTreeSet::First() const {
+  const Node* n = root_;
+  while (!n->is_leaf) {
+    n = n->internal.children[0];
+  }
+  return n->leaf.keys[0];
+}
+
+bool BTreeSet::Contains(VertexId key) const {
+  const Node* n = root_;
+  while (n != nullptr && !n->is_leaf) {
+    const Internal& in = n->internal;
+    size_t i = std::upper_bound(in.seps, in.seps + in.count - 1, key) - in.seps;
+    n = in.children[i];
+  }
+  if (n == nullptr) {
+    return false;
+  }
+  const Leaf& leaf = n->leaf;
+  const VertexId* end = leaf.keys + leaf.count;
+  const VertexId* it = std::lower_bound(leaf.keys, end, key);
+  return it != end && *it == key;
+}
+
+BTreeSet::InsertResult BTreeSet::InsertRec(Node* n, VertexId key) {
+  if (n->is_leaf) {
+    Leaf& leaf = n->leaf;
+    VertexId* end = leaf.keys + leaf.count;
+    VertexId* it = std::lower_bound(leaf.keys, end, key);
+    if (it != end && *it == key) {
+      return {};
+    }
+    if (leaf.count < kLeafCap) {
+      std::copy_backward(it, end, end + 1);
+      *it = key;
+      ++leaf.count;
+      return {.inserted = true};
+    }
+    // Split the full leaf, then insert into the proper half.
+    Node* right = NewLeaf();
+    size_t half = kLeafCap / 2;
+    std::copy(leaf.keys + half, leaf.keys + kLeafCap, right->leaf.keys);
+    right->leaf.count = static_cast<uint16_t>(kLeafCap - half);
+    leaf.count = static_cast<uint16_t>(half);
+    VertexId sep = right->leaf.keys[0];
+    InsertResult sub = key < sep ? InsertRec(n, key) : InsertRec(right, key);
+    assert(sub.inserted && sub.split_right == nullptr);
+    (void)sub;
+    return {.inserted = true, .split_right = right, .split_key = sep};
+  }
+
+  Internal& in = n->internal;
+  size_t i = std::upper_bound(in.seps, in.seps + in.count - 1, key) - in.seps;
+  InsertResult sub = InsertRec(in.children[i], key);
+  if (sub.split_right == nullptr) {
+    return sub;
+  }
+  if (in.count < kInternalCap) {
+    std::copy_backward(in.seps + i, in.seps + in.count - 1, in.seps + in.count);
+    std::copy_backward(in.children + i + 1, in.children + in.count,
+                       in.children + in.count + 1);
+    in.seps[i] = sub.split_key;
+    in.children[i + 1] = sub.split_right;
+    ++in.count;
+    return {.inserted = sub.inserted};
+  }
+  // Split this internal node: move the upper half of children right and push
+  // the middle separator up.
+  Node* right = NewInternal();
+  size_t half = kInternalCap / 2;
+  VertexId up_key = in.seps[half - 1];
+  right->internal.count = static_cast<uint16_t>(kInternalCap - half);
+  std::copy(in.children + half, in.children + kInternalCap,
+            right->internal.children);
+  std::copy(in.seps + half, in.seps + kInternalCap - 1, right->internal.seps);
+  in.count = static_cast<uint16_t>(half);
+  // Now place the pending (split_key, split_right) into the proper half.
+  Internal& target =
+      sub.split_key < up_key ? in : right->internal;
+  Internal& tgt = target;
+  size_t j = std::upper_bound(tgt.seps, tgt.seps + tgt.count - 1,
+                              sub.split_key) -
+              tgt.seps;
+  std::copy_backward(tgt.seps + j, tgt.seps + tgt.count - 1,
+                     tgt.seps + tgt.count);
+  std::copy_backward(tgt.children + j + 1, tgt.children + tgt.count,
+                     tgt.children + tgt.count + 1);
+  tgt.seps[j] = sub.split_key;
+  tgt.children[j + 1] = sub.split_right;
+  ++tgt.count;
+  return {.inserted = sub.inserted, .split_right = right, .split_key = up_key};
+}
+
+bool BTreeSet::Insert(VertexId key) {
+  if (root_ == nullptr) {
+    root_ = NewLeaf();
+  }
+  InsertResult res = InsertRec(root_, key);
+  if (res.split_right != nullptr) {
+    Node* new_root = NewInternal();
+    new_root->internal.count = 2;
+    new_root->internal.seps[0] = res.split_key;
+    new_root->internal.children[0] = root_;
+    new_root->internal.children[1] = res.split_right;
+    root_ = new_root;
+  }
+  if (res.inserted) {
+    ++size_;
+  }
+  return res.inserted;
+}
+
+bool BTreeSet::DeleteRec(Node* n, VertexId key) {
+  if (n->is_leaf) {
+    Leaf& leaf = n->leaf;
+    VertexId* end = leaf.keys + leaf.count;
+    VertexId* it = std::lower_bound(leaf.keys, end, key);
+    if (it == end || *it != key) {
+      return false;
+    }
+    std::copy(it + 1, end, it);
+    --leaf.count;
+    return true;
+  }
+  Internal& in = n->internal;
+  size_t i = std::upper_bound(in.seps, in.seps + in.count - 1, key) - in.seps;
+  Node* child = in.children[i];
+  if (!DeleteRec(child, key)) {
+    return false;
+  }
+  // Drop children that became completely empty; internal nodes keep at least
+  // one child so Map/Contains stay well-formed.
+  bool child_empty = child->is_leaf ? child->leaf.count == 0
+                                    : child->internal.count == 0;
+  if (child_empty && in.count > 1) {
+    FreeNode(child);
+    std::copy(in.children + i + 1, in.children + in.count, in.children + i);
+    if (i < static_cast<size_t>(in.count - 1)) {
+      std::copy(in.seps + i + 1, in.seps + in.count - 1, in.seps + i);
+    } else if (i > 0) {
+      // Removed the last child: its separator was seps[i-1].
+      // Nothing to shift; just shrink.
+    }
+    --in.count;
+  }
+  return true;
+}
+
+bool BTreeSet::Delete(VertexId key) {
+  if (root_ == nullptr) {
+    return false;
+  }
+  if (!DeleteRec(root_, key)) {
+    return false;
+  }
+  --size_;
+  // Collapse trivial roots.
+  while (root_ != nullptr && !root_->is_leaf && root_->internal.count == 1) {
+    Node* child = root_->internal.children[0];
+    root_->internal.count = 0;
+    FreeNode(root_);
+    root_ = child;
+  }
+  if (root_ != nullptr && root_->is_leaf && root_->leaf.count == 0) {
+    FreeNode(root_);
+    root_ = nullptr;
+  }
+  return true;
+}
+
+void BTreeSet::BulkLoad(std::span<const VertexId> sorted_keys) {
+  FreeNode(root_);
+  root_ = nullptr;
+  size_ = 0;
+  for (VertexId k : sorted_keys) {
+    Insert(k);
+  }
+}
+
+size_t BTreeSet::FootprintNode(const Node* n) {
+  if (n == nullptr) {
+    return 0;
+  }
+  size_t total = sizeof(Node);
+  if (!n->is_leaf) {
+    for (size_t i = 0; i < n->internal.count; ++i) {
+      total += FootprintNode(n->internal.children[i]);
+    }
+  }
+  return total;
+}
+
+size_t BTreeSet::memory_footprint() const { return FootprintNode(root_); }
+
+bool BTreeSet::CheckNode(const Node* n, VertexId lo, VertexId hi, int depth,
+                         int* leaf_depth, size_t* keys) {
+  if (n == nullptr) {
+    return true;
+  }
+  if (n->is_leaf) {
+    if (*leaf_depth == -1) {
+      *leaf_depth = depth;
+    } else if (*leaf_depth != depth) {
+      return false;
+    }
+    VertexId prev = lo;
+    bool first = true;
+    for (size_t i = 0; i < n->leaf.count; ++i) {
+      VertexId k = n->leaf.keys[i];
+      if (k < lo || k >= hi) {
+        return false;
+      }
+      if (!first && k <= prev) {
+        return false;
+      }
+      prev = k;
+      first = false;
+      ++*keys;
+    }
+    return true;
+  }
+  const Internal& in = n->internal;
+  if (in.count == 0) {
+    return false;
+  }
+  VertexId child_lo = lo;
+  for (size_t i = 0; i < in.count; ++i) {
+    VertexId child_hi = i + 1 < in.count ? in.seps[i] : hi;
+    if (child_hi < child_lo) {
+      return false;
+    }
+    if (!CheckNode(in.children[i], child_lo, child_hi, depth + 1, leaf_depth,
+                   keys)) {
+      return false;
+    }
+    child_lo = child_hi;
+  }
+  return true;
+}
+
+bool BTreeSet::CheckInvariants() const {
+  int leaf_depth = -1;
+  size_t keys = 0;
+  if (!CheckNode(root_, 0, kInvalidVertex, 0, &leaf_depth, &keys)) {
+    return false;
+  }
+  return keys == size_;
+}
+
+}  // namespace lsg

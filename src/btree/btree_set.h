@@ -1,0 +1,127 @@
+// B+-tree ordered set of vertex ids.
+//
+// Terrace (paper §2.3) stores the adjacency tails of high-degree vertices in
+// B-trees; this is that substrate. Node fan-out is sized in cache lines.
+// Deletions remove keys from leaves and free leaves that become empty, but do
+// not rebalance internal nodes — adjacency workloads are insert- and
+// scan-dominated, and Terrace's published behaviour does not depend on
+// delete-side rebalancing.
+//
+// Not thread-safe; one writer per tree (Terrace assigns a vertex to one
+// thread, as does LSGraph).
+#ifndef SRC_BTREE_BTREE_SET_H_
+#define SRC_BTREE_BTREE_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/graph_types.h"
+
+namespace lsg {
+
+class BTreeSet {
+ public:
+  BTreeSet();
+  ~BTreeSet();
+
+  BTreeSet(const BTreeSet&) = delete;
+  BTreeSet& operator=(const BTreeSet&) = delete;
+  BTreeSet(BTreeSet&& o) noexcept;
+  BTreeSet& operator=(BTreeSet&& o) noexcept;
+
+  bool Insert(VertexId key);
+  bool Delete(VertexId key);
+  bool Contains(VertexId key) const;
+
+  // Builds from a sorted, deduplicated key range; replaces current contents.
+  void BulkLoad(std::span<const VertexId> sorted_keys);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Smallest key; requires !empty().
+  VertexId First() const;
+
+  // Applies f(key) in ascending order.
+  template <typename F>
+  void Map(F&& f) const {
+    MapNode(root_, f);
+  }
+
+  size_t memory_footprint() const;
+
+  // Structural invariant check used by tests: sortedness, key count, depth
+  // uniformity. Returns false on violation.
+  bool CheckInvariants() const;
+
+ private:
+  // Fan-outs chosen so a leaf is 4 cache lines of ids and an internal node's
+  // key array is one cache line.
+  static constexpr size_t kLeafCap = 64;
+  static constexpr size_t kInternalCap = 16;
+
+  struct Node;
+
+  struct Leaf {
+    uint16_t count = 0;
+    VertexId keys[kLeafCap];
+  };
+
+  struct Internal {
+    uint16_t count = 0;  // number of children; count-1 separator keys
+    VertexId seps[kInternalCap - 1];
+    Node* children[kInternalCap];
+  };
+
+  struct Node {
+    bool is_leaf;
+    union {
+      Leaf leaf;
+      Internal internal;
+    };
+  };
+
+  static Node* NewLeaf();
+  static Node* NewInternal();
+  static void FreeNode(Node* n);
+
+  // Result of a recursive insert: whether a key was added, and, if the child
+  // split, the new right sibling and its separator key.
+  struct InsertResult {
+    bool inserted = false;
+    Node* split_right = nullptr;
+    VertexId split_key = 0;
+  };
+
+  InsertResult InsertRec(Node* n, VertexId key);
+  bool DeleteRec(Node* n, VertexId key);
+
+  template <typename F>
+  static void MapNode(const Node* n, F& f) {
+    if (n == nullptr) {
+      return;
+    }
+    if (n->is_leaf) {
+      for (size_t i = 0; i < n->leaf.count; ++i) {
+        f(n->leaf.keys[i]);
+      }
+      return;
+    }
+    for (size_t i = 0; i < n->internal.count; ++i) {
+      MapNode(n->internal.children[i], f);
+    }
+  }
+
+  static size_t FootprintNode(const Node* n);
+  static bool CheckNode(const Node* n, VertexId lo, VertexId hi, int depth,
+                        int* leaf_depth, size_t* keys);
+
+  Node* root_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace lsg
+
+#endif  // SRC_BTREE_BTREE_SET_H_

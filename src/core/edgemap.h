@@ -1,0 +1,150 @@
+// Ligra-style frontier primitives (paper §5 "Interface").
+//
+// LSGraph exposes analytics through EdgeMap/VertexMap over the engines'
+// Traverse operation. Everything here is templated on the engine type G,
+// which must provide num_vertices(), degree(v), and map_neighbors(v, f) —
+// the analytics kernels in src/analytics/ are therefore shared verbatim by
+// LSGraph and all three baselines, so benchmark deltas isolate the data
+// structures.
+#ifndef SRC_CORE_EDGEMAP_H_
+#define SRC_CORE_EDGEMAP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/parallel/thread_pool.h"
+#include "src/util/bitvector.h"
+#include "src/util/graph_types.h"
+
+namespace lsg {
+
+// A set of active vertices. Always carries the sparse list; EdgeMap decides
+// how to iterate.
+class VertexSubset {
+ public:
+  explicit VertexSubset(VertexId universe) : universe_(universe) {}
+
+  static VertexSubset Single(VertexId universe, VertexId v) {
+    VertexSubset s(universe);
+    s.vertices_.push_back(v);
+    return s;
+  }
+
+  static VertexSubset All(VertexId universe) {
+    VertexSubset s(universe);
+    s.vertices_.reserve(universe);
+    for (VertexId v = 0; v < universe; ++v) {
+      s.vertices_.push_back(v);
+    }
+    return s;
+  }
+
+  size_t size() const { return vertices_.size(); }
+  bool empty() const { return vertices_.empty(); }
+  VertexId universe() const { return universe_; }
+
+  const std::vector<VertexId>& vertices() const { return vertices_; }
+  std::vector<VertexId>& mutable_vertices() { return vertices_; }
+
+ private:
+  VertexId universe_;
+  std::vector<VertexId> vertices_;
+};
+
+// Applies update(u, v) over every edge (u, v) with u in `frontier` and
+// cond(v) true. A vertex v enters the returned frontier at most once, when
+// update returns true (update must guarantee exactly-once success itself,
+// e.g. via compare-and-swap).
+template <typename G, typename UpdateF, typename CondF>
+VertexSubset EdgeMap(const G& g, const VertexSubset& frontier, UpdateF update,
+                     CondF cond, ThreadPool& pool) {
+  size_t nthreads = pool.num_threads();
+  std::vector<std::vector<VertexId>> next(nthreads);
+  pool.ParallelForChunked(
+      0, frontier.size(),
+      [&](size_t lo, size_t hi, size_t tid) {
+        std::vector<VertexId>& out = next[tid];
+        for (size_t i = lo; i < hi; ++i) {
+          VertexId u = frontier.vertices()[i];
+          g.map_neighbors(u, [&](VertexId v) {
+            if (cond(v) && update(u, v)) {
+              out.push_back(v);
+            }
+          });
+        }
+      });
+  VertexSubset result(frontier.universe());
+  size_t total = 0;
+  for (const auto& part : next) {
+    total += part.size();
+  }
+  result.mutable_vertices().reserve(total);
+  for (const auto& part : next) {
+    result.mutable_vertices().insert(result.mutable_vertices().end(),
+                                     part.begin(), part.end());
+  }
+  return result;
+}
+
+// Pull-direction EdgeMap (Ligra's dense mode). For every vertex v with
+// cond(v), scans v's neighbors u and applies update(u, v) for each u in the
+// frontier, stopping the *additions* (not the scan) after the first success.
+// Correct on symmetrized graphs, where out-neighbors are in-neighbors.
+// Profitable when the frontier covers a large fraction of the edges: the
+// scan is sequential per vertex, and no atomics are needed because only v's
+// owner thread writes v's state.
+template <typename G, typename UpdateF, typename CondF>
+VertexSubset EdgeMapPull(const G& g, const AtomicBitset& in_frontier,
+                         UpdateF update, CondF cond, ThreadPool& pool) {
+  VertexId n = g.num_vertices();
+  size_t nthreads = pool.num_threads();
+  std::vector<std::vector<VertexId>> next(nthreads);
+  pool.ParallelForChunked(0, n, [&](size_t lo, size_t hi, size_t tid) {
+    for (size_t vi = lo; vi < hi; ++vi) {
+      VertexId v = static_cast<VertexId>(vi);
+      if (!cond(v)) {
+        continue;
+      }
+      bool added = false;
+      g.map_neighbors(v, [&](VertexId u) {
+        if (!added && in_frontier.Get(u) && update(u, v)) {
+          next[tid].push_back(v);
+          added = true;
+        }
+      });
+    }
+  });
+  VertexSubset result(n);
+  for (const auto& part : next) {
+    result.mutable_vertices().insert(result.mutable_vertices().end(),
+                                     part.begin(), part.end());
+  }
+  return result;
+}
+
+// Applies f(v) to every vertex in the frontier, keeping those for which f
+// returns true.
+template <typename F>
+VertexSubset VertexMap(const VertexSubset& frontier, F&& f, ThreadPool& pool) {
+  size_t nthreads = pool.num_threads();
+  std::vector<std::vector<VertexId>> kept(nthreads);
+  pool.ParallelForChunked(0, frontier.size(),
+                          [&](size_t lo, size_t hi, size_t tid) {
+                            for (size_t i = lo; i < hi; ++i) {
+                              VertexId v = frontier.vertices()[i];
+                              if (f(v)) {
+                                kept[tid].push_back(v);
+                              }
+                            }
+                          });
+  VertexSubset result(frontier.universe());
+  for (const auto& part : kept) {
+    result.mutable_vertices().insert(result.mutable_vertices().end(),
+                                     part.begin(), part.end());
+  }
+  return result;
+}
+
+}  // namespace lsg
+
+#endif  // SRC_CORE_EDGEMAP_H_

@@ -1,0 +1,45 @@
+// The streaming-engine concept: the interface every graph engine in this
+// repository implements, and the contract the analytics kernels and the
+// benchmark harness compile against. Centralizing it as a C++20 concept
+// turns "duck typing" into a checked API.
+#ifndef SRC_CORE_ENGINE_CONCEPT_H_
+#define SRC_CORE_ENGINE_CONCEPT_H_
+
+#include <concepts>
+#include <span>
+#include <vector>
+
+#include "src/util/graph_types.h"
+
+namespace lsg {
+
+// Read side: what analytics kernels need.
+template <typename G>
+concept GraphView = requires(const G& g, VertexId v) {
+  { g.num_vertices() } -> std::convertible_to<VertexId>;
+  { g.num_edges() } -> std::convertible_to<EdgeCount>;
+  { g.degree(v) } -> std::convertible_to<size_t>;
+  { g.HasEdge(v, v) } -> std::convertible_to<bool>;
+  g.map_neighbors(v, [](VertexId) {});
+};
+
+// Full streaming engine: GraphView plus batched and single-edge updates and
+// memory accounting.
+template <typename G>
+concept StreamingEngine =
+    GraphView<G> && requires(G& g, std::span<const Edge> batch,
+                             std::vector<Edge> edges, VertexId v) {
+      g.BuildFromEdges(edges);
+      { g.InsertBatch(batch) } -> std::convertible_to<size_t>;
+      { g.DeleteBatch(batch) } -> std::convertible_to<size_t>;
+      { g.InsertEdge(v, v) } -> std::convertible_to<bool>;
+      { g.DeleteEdge(v, v) } -> std::convertible_to<bool>;
+      { static_cast<const G&>(g).memory_footprint() } ->
+          std::convertible_to<size_t>;
+      { static_cast<const G&>(g).CheckInvariants() } ->
+          std::convertible_to<bool>;
+    };
+
+}  // namespace lsg
+
+#endif  // SRC_CORE_ENGINE_CONCEPT_H_

@@ -1,0 +1,526 @@
+#include "src/core/hitree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lsg {
+
+namespace {
+
+// Least-squares fit of key -> position over the loaded ids. Positions are
+// spread across the allocated slot range so gaps interleave the data.
+void FitLinearModel(std::span<const VertexId> ids, size_t arr_size,
+                    double* slope, double* intercept) {
+  size_t n = ids.size();
+  if (n < 2) {
+    *slope = 0.0;
+    *intercept = arr_size / 2.0;
+    return;
+  }
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_x += ids[i];
+    mean_y += (i + 0.5) * arr_size / n;
+  }
+  mean_x /= n;
+  mean_y /= n;
+  double cov = 0.0;
+  double var = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double dx = ids[i] - mean_x;
+    double dy = (i + 0.5) * arr_size / n - mean_y;
+    cov += dx * dy;
+    var += dx * dx;
+  }
+  if (var == 0.0) {
+    *slope = 0.0;
+    *intercept = mean_y;
+    return;
+  }
+  *slope = cov / var;  // >= 0 because ids ascend with position
+  *intercept = mean_y - *slope * mean_x;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Lia ----
+
+Lia::Lia(const Options& options, std::span<const VertexId> sorted_ids)
+    : options_(options) {
+  size_t n = sorted_ids.size();
+  size_t bks = options_.block_size;
+  size_t arr = std::max<size_t>(
+      bks, (static_cast<size_t>(n * options_.alpha) + bks - 1) / bks * bks);
+  slots_.assign(arr, 0);
+  types_ = TypeVector(arr);
+  FitLinearModel(sorted_ids, arr, &slope_, &intercept_);
+  size_ = n;
+
+  // Group the ids by predicted block (Algorithm 1 lines 10-20); predictions
+  // are monotone, so groups are contiguous runs.
+  struct Group {
+    size_t block;
+    size_t begin;
+    size_t end;  // exclusive
+    bool unique_positions;
+  };
+  std::vector<Group> child_groups;
+  size_t i = 0;
+  while (i < n) {
+    size_t pos = Predict(sorted_ids[i]);
+    size_t b = BlockOf(pos);
+    size_t j = i;
+    size_t prev_pos = ~size_t{0};
+    bool unique = true;
+    while (j < n) {
+      size_t pj = Predict(sorted_ids[j]);
+      if (BlockOf(pj) != b) {
+        break;
+      }
+      if (pj == prev_pos) {
+        unique = false;
+      }
+      prev_pos = pj;
+      ++j;
+    }
+    size_t count = j - i;
+    if (unique && count <= bks) {
+      for (size_t k = i; k < j; ++k) {
+        size_t p = Predict(sorted_ids[k]);
+        slots_[p] = sorted_ids[k];
+        types_.Set(p, SlotType::kEdge);
+      }
+    } else if (count <= bks) {
+      StoreBlock(b, sorted_ids.subspan(i, count));
+    } else {
+      child_groups.push_back({b, i, j, false});
+    }
+    i = j;
+  }
+
+  // MergeAdjacentChildren (Algorithm 1 line 21): runs of consecutive child
+  // blocks share one child node to cut random pointer hops.
+  for (size_t g = 0; g < child_groups.size();) {
+    size_t h = g;
+    while (h + 1 < child_groups.size() &&
+           child_groups[h + 1].block == child_groups[h].block + 1) {
+      ++h;
+    }
+    size_t begin = child_groups[g].begin;
+    size_t end = child_groups[h].end;
+    auto child = std::make_unique<HiNode>(options_);
+    child->BulkLoad(sorted_ids.subspan(begin, end - begin),
+                    /*force_flat=*/end - begin == n);
+    uint32_t idx = static_cast<uint32_t>(children_.size());
+    children_.push_back(std::move(child));
+    for (size_t gg = g; gg <= h; ++gg) {
+      size_t ba = child_groups[gg].block * bks;
+      types_.SetRange(ba, ba + bks, SlotType::kChild);
+      for (size_t s = ba; s < ba + bks; ++s) {
+        slots_[s] = idx;
+      }
+    }
+    g = h + 1;
+  }
+}
+
+Lia::~Lia() = default;
+
+size_t Lia::Predict(VertexId id) const {
+  double p = slope_ * id + intercept_;
+  if (p < 0.0) {
+    return 0;
+  }
+  size_t pos = static_cast<size_t>(p);
+  return pos >= slots_.size() ? slots_.size() - 1 : pos;
+}
+
+void Lia::GatherBlock(size_t b, std::vector<VertexId>* out) const {
+  size_t ba = b * options_.block_size;
+  for (size_t s = ba; s < ba + options_.block_size; ++s) {
+    SlotType t = types_.Get(s);
+    if (t == SlotType::kEdge || t == SlotType::kBlock) {
+      out->push_back(slots_[s]);
+    }
+  }
+}
+
+void Lia::StoreBlock(size_t b, std::span<const VertexId> ids) {
+  size_t ba = b * options_.block_size;
+  size_t bks = options_.block_size;
+  assert(ids.size() <= bks);
+  for (size_t k = 0; k < ids.size(); ++k) {
+    slots_[ba + k] = ids[k];
+    types_.Set(ba + k, SlotType::kBlock);
+  }
+  types_.SetRange(ba + ids.size(), ba + bks, SlotType::kUnused);
+}
+
+void Lia::MakeChild(size_t b, std::span<const VertexId> ids) {
+  size_t ba = b * options_.block_size;
+  size_t bks = options_.block_size;
+  auto child = std::make_unique<HiNode>(options_);
+  child->BulkLoad(ids);
+  uint32_t idx = static_cast<uint32_t>(children_.size());
+  children_.push_back(std::move(child));
+  types_.SetRange(ba, ba + bks, SlotType::kChild);
+  for (size_t s = ba; s < ba + bks; ++s) {
+    slots_[s] = idx;
+  }
+  if (options_.stats != nullptr) {
+    options_.stats->lia_child_creations.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Lia::DetachChild(size_t b, uint32_t child) {
+  size_t bks = options_.block_size;
+  // The child may be shared by a run of adjacent blocks; clear them all.
+  size_t lo = b;
+  while (lo > 0 && types_.Get((lo - 1) * bks) == SlotType::kChild &&
+         slots_[(lo - 1) * bks] == child) {
+    --lo;
+  }
+  size_t hi = b;
+  while ((hi + 1) * bks < slots_.size() &&
+         types_.Get((hi + 1) * bks) == SlotType::kChild &&
+         slots_[(hi + 1) * bks] == child) {
+    ++hi;
+  }
+  for (size_t bb = lo; bb <= hi; ++bb) {
+    types_.SetRange(bb * bks, (bb + 1) * bks, SlotType::kUnused);
+  }
+  children_[child].reset();
+}
+
+bool Lia::Insert(VertexId id) {
+  size_t pos = Predict(id);
+  size_t b = BlockOf(pos);
+  size_t ba = b * options_.block_size;
+  if (types_.Get(ba) == SlotType::kChild) {
+    uint32_t child = slots_[ba];
+    if (!children_[child]->Insert(id)) {
+      return false;
+    }
+    ++size_;
+    return true;
+  }
+  // Gather the block's resident ids; detect duplicates and packed (B) mode.
+  std::vector<VertexId> ids;
+  GatherBlock(b, &ids);
+  if (std::binary_search(ids.begin(), ids.end(), id)) {
+    return false;
+  }
+  bool packed = types_.Get(ba) == SlotType::kBlock;
+  if (types_.Get(pos) == SlotType::kUnused && !packed) {
+    // Case 1 (Fig. 10): free predicted slot in a position-addressed block.
+    slots_[pos] = id;
+    types_.Set(pos, SlotType::kEdge);
+    ++size_;
+    return true;
+  }
+  // Case 2/3: conflict. Merge within the block, else go vertical.
+  ids.insert(std::lower_bound(ids.begin(), ids.end(), id), id);
+  if (ids.size() <= options_.block_size) {
+    // Clear old layout before repacking (E entries may sit anywhere).
+    types_.SetRange(ba, ba + options_.block_size, SlotType::kUnused);
+    StoreBlock(b, ids);
+  } else {
+    MakeChild(b, ids);
+  }
+  ++size_;
+  return true;
+}
+
+bool Lia::Delete(VertexId id) {
+  size_t pos = Predict(id);
+  size_t b = BlockOf(pos);
+  size_t ba = b * options_.block_size;
+  size_t bks = options_.block_size;
+  if (types_.Get(ba) == SlotType::kChild) {
+    uint32_t child = slots_[ba];
+    if (!children_[child]->Delete(id)) {
+      return false;
+    }
+    --size_;
+    if (children_[child]->size() == 0) {
+      DetachChild(b, child);
+    }
+    return true;
+  }
+  for (size_t s = ba; s < ba + bks; ++s) {
+    SlotType t = types_.Get(s);
+    if (t == SlotType::kEdge && slots_[s] == id) {
+      types_.Set(s, SlotType::kUnused);
+      --size_;
+      return true;
+    }
+    if (t == SlotType::kBlock && slots_[s] == id) {
+      std::vector<VertexId> ids;
+      GatherBlock(b, &ids);
+      ids.erase(std::find(ids.begin(), ids.end(), id));
+      types_.SetRange(ba, ba + bks, SlotType::kUnused);
+      StoreBlock(b, ids);
+      --size_;
+      return true;
+    }
+  }
+  return false;
+}
+
+VertexId Lia::First() const {
+  assert(size_ > 0);
+  size_t bks = options_.block_size;
+  for (size_t ba = 0; ba < slots_.size(); ba += bks) {
+    if (types_.Get(ba) == SlotType::kChild) {
+      return children_[slots_[ba]]->First();
+    }
+    for (size_t s = ba; s < ba + bks; ++s) {
+      SlotType t = types_.Get(s);
+      if (t == SlotType::kEdge || t == SlotType::kBlock) {
+        return slots_[s];
+      }
+    }
+  }
+  return kInvalidVertex;
+}
+
+bool Lia::Contains(VertexId id) const {
+  size_t b = BlockOf(Predict(id));
+  size_t ba = b * options_.block_size;
+  if (types_.Get(ba) == SlotType::kChild) {
+    return children_[slots_[ba]]->Contains(id);
+  }
+  for (size_t s = ba; s < ba + options_.block_size; ++s) {
+    SlotType t = types_.Get(s);
+    if ((t == SlotType::kEdge || t == SlotType::kBlock) && slots_[s] == id) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t Lia::memory_footprint() const {
+  size_t total = sizeof(*this) + slots_.capacity() * sizeof(VertexId) +
+                 types_.MemoryBytes() +
+                 children_.capacity() * sizeof(children_[0]);
+  for (const auto& c : children_) {
+    if (c != nullptr) {
+      total += c->memory_footprint();
+    }
+  }
+  return total;
+}
+
+size_t Lia::index_bytes() const {
+  // The learned index proper: the model and the slot-type metadata.
+  size_t total = 2 * sizeof(double) + types_.MemoryBytes() +
+                 children_.capacity() * sizeof(children_[0]);
+  for (const auto& c : children_) {
+    if (c != nullptr) {
+      total += c->index_bytes();
+    }
+  }
+  return total;
+}
+
+bool Lia::CheckInvariants() const {
+  // In-order traversal must be strictly increasing and match size_.
+  bool ok = true;
+  bool first = true;
+  VertexId prev = 0;
+  size_t count = 0;
+  Map([&](VertexId v) {
+    if (!first && v <= prev) {
+      ok = false;
+    }
+    prev = v;
+    first = false;
+    ++count;
+  });
+  if (!ok || count != size_) {
+    return false;
+  }
+  // Child blocks must be uniformly typed and point at live children.
+  size_t bks = options_.block_size;
+  for (size_t ba = 0; ba < slots_.size(); ba += bks) {
+    if (types_.Get(ba) != SlotType::kChild) {
+      continue;
+    }
+    uint32_t idx = slots_[ba];
+    if (idx >= children_.size() || children_[idx] == nullptr ||
+        children_[idx]->size() == 0) {
+      return false;
+    }
+    for (size_t s = ba; s < ba + bks; ++s) {
+      if (types_.Get(s) != SlotType::kChild || slots_[s] != idx) {
+        return false;
+      }
+    }
+    if (!children_[idx]->CheckInvariants()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ------------------------------------------------------------- HiNode ----
+
+HiNode::HiNode(const Options& options) : options_(options) {}
+
+HiNode::~HiNode() = default;
+
+void HiNode::BulkLoad(std::span<const VertexId> sorted_ids, bool force_flat) {
+  array_.clear();
+  ria_.reset();
+  lia_.reset();
+  if (sorted_ids.size() <= options_.a_threshold) {
+    kind_ = Kind::kArray;
+    array_.assign(sorted_ids.begin(), sorted_ids.end());
+  } else if (sorted_ids.size() <= options_.m_threshold || force_flat) {
+    kind_ = Kind::kRia;
+    ria_ = std::make_unique<Ria>(options_);
+    ria_->BulkLoad(sorted_ids);
+  } else {
+    kind_ = Kind::kLia;
+    lia_ = std::make_unique<Lia>(options_, sorted_ids);
+  }
+}
+
+size_t HiNode::size() const {
+  switch (kind_) {
+    case Kind::kArray:
+      return array_.size();
+    case Kind::kRia:
+      return ria_->size();
+    case Kind::kLia:
+      return lia_->size();
+  }
+  return 0;
+}
+
+VertexId HiNode::First() const {
+  switch (kind_) {
+    case Kind::kArray:
+      return array_.front();
+    case Kind::kRia:
+      return ria_->First();
+    case Kind::kLia:
+      return lia_->First();
+  }
+  return kInvalidVertex;
+}
+
+bool HiNode::Insert(VertexId id) {
+  switch (kind_) {
+    case Kind::kArray: {
+      auto it = std::lower_bound(array_.begin(), array_.end(), id);
+      if (it != array_.end() && *it == id) {
+        return false;
+      }
+      array_.insert(it, id);
+      if (array_.size() > options_.a_threshold) {
+        BulkLoad(array_);  // upgrade to RIA
+      }
+      return true;
+    }
+    case Kind::kRia: {
+      switch (ria_->TryInsert(id)) {
+        case Ria::InsertResult::kInserted:
+          return true;
+        case Ria::InsertResult::kDuplicate:
+          return false;
+        case Ria::InsertResult::kNeedExpand: {
+          // Bounded movement failed: rebuild with α amplification; a tail
+          // that has outgrown M becomes a HITree here (§6.2's conversions).
+          std::vector<VertexId> ids = ria_->Decode();
+          ids.insert(std::lower_bound(ids.begin(), ids.end(), id), id);
+          if (options_.stats != nullptr) {
+            if (ids.size() > options_.m_threshold) {
+              options_.stats->ria_to_hitree_conversions.fetch_add(
+                  1, std::memory_order_relaxed);
+            } else {
+              options_.stats->ria_expansions.fetch_add(
+                  1, std::memory_order_relaxed);
+            }
+          }
+          BulkLoad(ids);
+          return true;
+        }
+      }
+      return false;
+    }
+    case Kind::kLia:
+      return lia_->Insert(id);
+  }
+  return false;
+}
+
+bool HiNode::Delete(VertexId id) {
+  switch (kind_) {
+    case Kind::kArray: {
+      auto it = std::lower_bound(array_.begin(), array_.end(), id);
+      if (it == array_.end() || *it != id) {
+        return false;
+      }
+      array_.erase(it);
+      return true;
+    }
+    case Kind::kRia:
+      return ria_->Delete(id);
+    case Kind::kLia:
+      return lia_->Delete(id);
+  }
+  return false;
+}
+
+bool HiNode::Contains(VertexId id) const {
+  switch (kind_) {
+    case Kind::kArray:
+      return std::binary_search(array_.begin(), array_.end(), id);
+    case Kind::kRia:
+      return ria_->Contains(id);
+    case Kind::kLia:
+      return lia_->Contains(id);
+  }
+  return false;
+}
+
+size_t HiNode::memory_footprint() const {
+  size_t total = sizeof(*this) + array_.capacity() * sizeof(VertexId);
+  if (ria_ != nullptr) {
+    total += ria_->memory_footprint();
+  }
+  if (lia_ != nullptr) {
+    total += lia_->memory_footprint();
+  }
+  return total;
+}
+
+size_t HiNode::index_bytes() const {
+  switch (kind_) {
+    case Kind::kArray:
+      return 0;
+    case Kind::kRia:
+      return ria_->index_bytes();
+    case Kind::kLia:
+      return lia_->index_bytes();
+  }
+  return 0;
+}
+
+bool HiNode::CheckInvariants() const {
+  switch (kind_) {
+    case Kind::kArray:
+      return std::is_sorted(array_.begin(), array_.end()) &&
+             std::adjacent_find(array_.begin(), array_.end()) == array_.end();
+    case Kind::kRia:
+      return ria_->CheckInvariants();
+    case Kind::kLia:
+      return lia_->CheckInvariants();
+  }
+  return false;
+}
+
+}  // namespace lsg

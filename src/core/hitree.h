@@ -1,0 +1,175 @@
+// HITree: the Hybrid Indexed Tree (paper §3.2, Algorithms 1 & 2), plus the
+// adjacency-tail polymorphism of §4.1.
+//
+// HiNode is one adjacency tail. Its representation adapts to its size:
+//   - sorted array        (size <= A; no index, two cache lines)
+//   - RIA                 (size <= M; redundant block index)
+//   - LIA-rooted HITree   (size >  M; learned index, children are HiNodes)
+// Upgrades happen in place: an array that outgrows A becomes a RIA; a RIA
+// whose bounded horizontal movement fails re-bulkloads, and if it has grown
+// past M that re-bulkload produces a LIA root (the "RIA to HITree changes"
+// counted in §6.2).
+//
+// Lia is a learned indexed array: a gapped slot array positioned by a linear
+// model, a 2-bit type per slot (Unused / Edge / Block / Child), and child
+// HiNodes reached through Child blocks. Position conflicts first move data
+// horizontally within one cache-line block (B entries); only when a block
+// overflows is a child created (vertical movement), which is what bounds the
+// movement distance of high-degree vertices.
+//
+// Not thread-safe; single writer per instance (one vertex per thread, §5).
+#ifndef SRC_CORE_HITREE_H_
+#define SRC_CORE_HITREE_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/core/options.h"
+#include "src/core/ria.h"
+#include "src/util/bitvector.h"
+#include "src/util/graph_types.h"
+
+namespace lsg {
+
+class HiNode;
+
+// Learned Indexed Array (internal node of a HITree).
+class Lia {
+ public:
+  // Bulk-loads from sorted unique ids (Algorithm 1, LIA branch).
+  Lia(const Options& options, std::span<const VertexId> sorted_ids);
+  ~Lia();
+
+  Lia(const Lia&) = delete;
+  Lia& operator=(const Lia&) = delete;
+
+  bool Insert(VertexId id);
+  bool Delete(VertexId id);
+  bool Contains(VertexId id) const;
+
+  size_t size() const { return size_; }
+
+  // Smallest id; requires size() > 0.
+  VertexId First() const;
+
+  // Applies f(id) in ascending order (the Traverse operation).
+  template <typename F>
+  void Map(F&& f) const;
+
+  size_t memory_footprint() const;
+  // Model + type bits + child index overhead (Table 3's I/L accounting).
+  size_t index_bytes() const;
+
+  bool CheckInvariants() const;
+
+ private:
+  size_t Predict(VertexId id) const;
+  size_t BlockOf(size_t pos) const { return pos / options_.block_size; }
+
+  // Gathers the data ids resident in block b (E and B slots), ascending.
+  void GatherBlock(size_t b, std::vector<VertexId>* out) const;
+  // Rewrites block b as a packed run of `ids` (B entries) — requires
+  // ids.size() <= block_size — or as a child pointer when larger.
+  void StoreBlock(size_t b, std::span<const VertexId> ids);
+  void MakeChild(size_t b, std::span<const VertexId> ids);
+  // Clears every block sharing child index `child` back to Unused.
+  void DetachChild(size_t b, uint32_t child);
+
+  Options options_;
+  std::vector<VertexId> slots_;
+  TypeVector types_;
+  double slope_ = 0.0;
+  double intercept_ = 0.0;
+  std::vector<std::unique_ptr<HiNode>> children_;
+  size_t size_ = 0;
+};
+
+// One adjacency tail with size-adaptive representation.
+class HiNode {
+ public:
+  enum class Kind { kArray, kRia, kLia };
+
+  explicit HiNode(const Options& options);
+  ~HiNode();
+
+  HiNode(const HiNode&) = delete;
+  HiNode& operator=(const HiNode&) = delete;
+
+  // Rebuilds from sorted unique ids, choosing the representation by size.
+  // `force_flat` pins the node to RIA even above M (used to break model
+  // degeneracy during recursive bulk loads).
+  void BulkLoad(std::span<const VertexId> sorted_ids, bool force_flat = false);
+
+  bool Insert(VertexId id);
+  bool Delete(VertexId id);
+  bool Contains(VertexId id) const;
+
+  size_t size() const;
+  Kind kind() const { return kind_; }
+
+  // Smallest id; requires size() > 0.
+  VertexId First() const;
+
+  template <typename F>
+  void Map(F&& f) const {
+    switch (kind_) {
+      case Kind::kArray:
+        for (VertexId v : array_) {
+          f(v);
+        }
+        break;
+      case Kind::kRia:
+        ria_->Map(f);
+        break;
+      case Kind::kLia:
+        lia_->Map(f);
+        break;
+    }
+  }
+
+  std::vector<VertexId> Decode() const {
+    std::vector<VertexId> out;
+    out.reserve(size());
+    Map([&out](VertexId v) { out.push_back(v); });
+    return out;
+  }
+
+  size_t memory_footprint() const;
+  size_t index_bytes() const;
+  bool CheckInvariants() const;
+
+ private:
+  Options options_;
+  Kind kind_ = Kind::kArray;
+  std::vector<VertexId> array_;
+  std::unique_ptr<Ria> ria_;
+  std::unique_ptr<Lia> lia_;
+};
+
+template <typename F>
+void Lia::Map(F&& f) const {
+  size_t bks = options_.block_size;
+  uint32_t prev_child = ~uint32_t{0};
+  for (size_t ba = 0; ba < slots_.size(); ba += bks) {
+    if (types_.Get(ba) == SlotType::kChild) {
+      uint32_t child = slots_[ba];
+      if (child != prev_child) {
+        children_[child]->Map(f);
+        prev_child = child;
+      }
+      continue;
+    }
+    prev_child = ~uint32_t{0};
+    for (size_t i = ba; i < ba + bks; ++i) {
+      SlotType t = types_.Get(i);
+      if (t == SlotType::kEdge || t == SlotType::kBlock) {
+        f(slots_[i]);
+      }
+    }
+  }
+}
+
+}  // namespace lsg
+
+#endif  // SRC_CORE_HITREE_H_

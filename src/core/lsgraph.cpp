@@ -1,0 +1,257 @@
+#include "src/core/lsgraph.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+
+#include "src/util/sort.h"
+
+namespace lsg {
+
+LSGraph::LSGraph(VertexId num_vertices, Options options, ThreadPool* pool)
+    : options_(options), blocks_(num_vertices), pool_(pool) {
+  // Wire every structure this engine creates to its shared counters.
+  options_.stats = &stats_;
+}
+
+LSGraph::~LSGraph() {
+  for (VertexBlock& vb : blocks_) {
+    delete vb.tail;
+  }
+}
+
+ThreadPool& LSGraph::pool() const {
+  return pool_ != nullptr ? *pool_ : ThreadPool::Global();
+}
+
+void LSGraph::BuildFromEdges(std::vector<Edge> edges) {
+  RadixSortEdges(edges);
+  DedupSortedEdges(edges);
+  // Group boundaries: starts[i] is the first edge of the i-th vertex group.
+  std::vector<size_t> starts;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (i == 0 || edges[i].src != edges[i - 1].src) {
+      starts.push_back(i);
+    }
+  }
+  starts.push_back(edges.size());
+  size_t groups = starts.empty() ? 0 : starts.size() - 1;
+  pool().ParallelFor(0, groups, [&](size_t g) {
+    size_t begin = starts[g];
+    size_t end = starts[g + 1];
+    VertexId v = edges[begin].src;
+    VertexBlock& vb = blocks_[v];
+    size_t deg = end - begin;
+    size_t inl = std::min<size_t>(deg, kInlineCap);
+    for (size_t i = 0; i < inl; ++i) {
+      vb.inline_edges[i] = edges[begin + i].dst;
+    }
+    vb.inline_count = static_cast<uint32_t>(inl);
+    vb.degree = static_cast<uint32_t>(deg);
+    if (deg > inl) {
+      std::vector<VertexId> tail_ids;
+      tail_ids.reserve(deg - inl);
+      for (size_t i = begin + inl; i < end; ++i) {
+        tail_ids.push_back(edges[i].dst);
+      }
+      vb.tail = new HiNode(options_);
+      vb.tail->BulkLoad(tail_ids);
+    }
+  });
+  num_edges_ = edges.size();
+}
+
+bool LSGraph::InsertIntoVertex(VertexBlock& vb, VertexId dst) {
+  VertexId* begin = vb.inline_edges;
+  VertexId* end = begin + vb.inline_count;
+  VertexId* it = std::lower_bound(begin, end, dst);
+  if (it != end && *it == dst) {
+    return false;
+  }
+  if (vb.inline_count < kInlineCap) {
+    // Invariant: tail non-empty implies the inline run is full, so there is
+    // no tail to check against here.
+    std::copy_backward(it, end, end + 1);
+    *it = dst;
+    ++vb.inline_count;
+    ++vb.degree;
+    return true;
+  }
+  if (dst > end[-1]) {
+    // dst sorts after the inline run: it goes straight to the tail, which
+    // may already contain it.
+    if (vb.tail == nullptr) {
+      vb.tail = new HiNode(options_);
+    }
+    if (!vb.tail->Insert(dst)) {
+      return false;
+    }
+    ++vb.degree;
+    return true;
+  }
+  // dst belongs inline; the current largest inline id spills to the tail.
+  // The spilled id cannot be a tail duplicate (all tail ids exceed it).
+  VertexId spilled = end[-1];
+  std::copy_backward(it, end - 1, end);
+  *it = dst;
+  if (vb.tail == nullptr) {
+    vb.tail = new HiNode(options_);
+  }
+  bool inserted = vb.tail->Insert(spilled);
+  assert(inserted);
+  (void)inserted;
+  ++vb.degree;
+  return true;
+}
+
+bool LSGraph::DeleteFromVertex(VertexBlock& vb, VertexId dst) {
+  VertexId* begin = vb.inline_edges;
+  VertexId* end = begin + vb.inline_count;
+  VertexId* it = std::lower_bound(begin, end, dst);
+  if (it != end && *it == dst) {
+    std::copy(it + 1, end, it);
+    --vb.inline_count;
+    --vb.degree;
+    if (vb.tail != nullptr && vb.tail->size() != 0) {
+      // Backfill from the tail to keep the inline run full (and the
+      // inline-max < tail-min invariant trivially true).
+      VertexId min_tail = vb.tail->First();
+      vb.tail->Delete(min_tail);
+      vb.inline_edges[vb.inline_count++] = min_tail;
+    }
+    return true;
+  }
+  if (vb.tail == nullptr || !vb.tail->Delete(dst)) {
+    return false;
+  }
+  --vb.degree;
+  return true;
+}
+
+bool LSGraph::InsertEdge(VertexId src, VertexId dst) {
+  if (InsertIntoVertex(blocks_[src], dst)) {
+    ++num_edges_;
+    return true;
+  }
+  return false;
+}
+
+bool LSGraph::DeleteEdge(VertexId src, VertexId dst) {
+  if (DeleteFromVertex(blocks_[src], dst)) {
+    --num_edges_;
+    return true;
+  }
+  return false;
+}
+
+bool LSGraph::HasEdge(VertexId src, VertexId dst) const {
+  const VertexBlock& vb = blocks_[src];
+  const VertexId* end = vb.inline_edges + vb.inline_count;
+  if (std::binary_search(vb.inline_edges, end, dst)) {
+    return true;
+  }
+  return vb.tail != nullptr && vb.tail->Contains(dst);
+}
+
+namespace {
+
+// Sorts a batch and returns per-source-vertex group boundaries.
+std::vector<size_t> GroupBySource(std::vector<Edge>& batch) {
+  RadixSortEdges(batch);
+  DedupSortedEdges(batch);
+  std::vector<size_t> starts;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (i == 0 || batch[i].src != batch[i - 1].src) {
+      starts.push_back(i);
+    }
+  }
+  starts.push_back(batch.size());
+  return starts;
+}
+
+}  // namespace
+
+size_t LSGraph::InsertBatch(std::span<const Edge> batch) {
+  std::vector<Edge> edges(batch.begin(), batch.end());
+  std::vector<size_t> starts = GroupBySource(edges);
+  size_t groups = starts.empty() ? 0 : starts.size() - 1;
+  std::atomic<size_t> added{0};
+  pool().ParallelFor(0, groups, [&](size_t g) {
+    size_t local = 0;
+    VertexBlock& vb = blocks_[edges[starts[g]].src];
+    for (size_t i = starts[g]; i < starts[g + 1]; ++i) {
+      local += InsertIntoVertex(vb, edges[i].dst);
+    }
+    added.fetch_add(local, std::memory_order_relaxed);
+  });
+  num_edges_ += added.load(std::memory_order_relaxed);
+  return added.load(std::memory_order_relaxed);
+}
+
+size_t LSGraph::DeleteBatch(std::span<const Edge> batch) {
+  std::vector<Edge> edges(batch.begin(), batch.end());
+  std::vector<size_t> starts = GroupBySource(edges);
+  size_t groups = starts.empty() ? 0 : starts.size() - 1;
+  std::atomic<size_t> removed{0};
+  pool().ParallelFor(0, groups, [&](size_t g) {
+    size_t local = 0;
+    VertexBlock& vb = blocks_[edges[starts[g]].src];
+    for (size_t i = starts[g]; i < starts[g + 1]; ++i) {
+      local += DeleteFromVertex(vb, edges[i].dst);
+    }
+    removed.fetch_add(local, std::memory_order_relaxed);
+  });
+  num_edges_ -= removed.load(std::memory_order_relaxed);
+  return removed.load(std::memory_order_relaxed);
+}
+
+size_t LSGraph::memory_footprint() const {
+  size_t total = blocks_.capacity() * sizeof(VertexBlock);
+  for (const VertexBlock& vb : blocks_) {
+    if (vb.tail != nullptr) {
+      total += vb.tail->memory_footprint();
+    }
+  }
+  return total;
+}
+
+size_t LSGraph::index_bytes() const {
+  size_t total = 0;
+  for (const VertexBlock& vb : blocks_) {
+    if (vb.tail != nullptr) {
+      total += vb.tail->index_bytes();
+    }
+  }
+  return total;
+}
+
+bool LSGraph::CheckInvariants() const {
+  EdgeCount total = 0;
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    const VertexBlock& vb = blocks_[v];
+    const VertexId* end = vb.inline_edges + vb.inline_count;
+    if (!std::is_sorted(vb.inline_edges, end) ||
+        std::adjacent_find(vb.inline_edges, end) != end) {
+      return false;
+    }
+    size_t tail_size = vb.tail != nullptr ? vb.tail->size() : 0;
+    if (vb.degree != vb.inline_count + tail_size) {
+      return false;
+    }
+    if (tail_size != 0) {
+      if (vb.inline_count != kInlineCap) {
+        return false;  // tail may only exist once the inline run is full
+      }
+      if (vb.tail->First() <= end[-1]) {
+        return false;
+      }
+      if (!vb.tail->CheckInvariants()) {
+        return false;
+      }
+    }
+    total += vb.degree;
+  }
+  return total == num_edges_;
+}
+
+}  // namespace lsg

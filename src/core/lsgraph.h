@@ -1,0 +1,121 @@
+// LSGraph: the locality-centric streaming graph engine (paper §4, §5).
+//
+// Per-vertex layout (Fig. 9): one cache line of vertex block holds the
+// degree, up to L inline neighbors (the smallest ids), and a pointer to the
+// overflow tail. The tail is a HiNode whose representation follows the
+// vertex's degree: plain array (<= L+A), RIA (<= L+M), HITree (> L+M).
+// Invariant: every inline id < every tail id, so traversal is a sorted scan
+// of the inline run followed by the tail's Traverse.
+//
+// Batch updates sort by (src, dst), group per source vertex, and hand each
+// group to one thread (§5): no locks, no cross-vertex movement.
+#ifndef SRC_CORE_LSGRAPH_H_
+#define SRC_CORE_LSGRAPH_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/core/hitree.h"
+#include "src/core/options.h"
+#include "src/parallel/thread_pool.h"
+#include "src/util/cache.h"
+#include "src/util/graph_types.h"
+
+namespace lsg {
+
+class LSGraph {
+ public:
+  // One cache line: degree + inline count + L inline ids + tail pointer.
+  static constexpr size_t kInlineCap =
+      (kCacheLineBytes - 2 * sizeof(uint32_t) - sizeof(void*)) /
+      sizeof(VertexId);  // L = 12 with 64-byte lines and 4-byte ids
+
+  LSGraph(VertexId num_vertices, Options options = {},
+          ThreadPool* pool = nullptr);
+  ~LSGraph();
+
+  LSGraph(const LSGraph&) = delete;
+  LSGraph& operator=(const LSGraph&) = delete;
+
+  // Bulk construction from an arbitrary edge list (sorted + deduplicated
+  // internally); parallel across vertices.
+  void BuildFromEdges(std::vector<Edge> edges);
+
+  // Grows the vertex set by `count` ids (streaming graphs add vertices as
+  // well as edges); new vertices start with empty adjacency. Returns the
+  // first new id. Not concurrent with updates or analytics.
+  VertexId AddVertices(VertexId count) {
+    VertexId first = num_vertices();
+    blocks_.resize(blocks_.size() + count);
+    return first;
+  }
+
+  // Batched streaming updates (§5): sort, group by source, one vertex per
+  // thread. Returns the number of edges actually added / removed.
+  size_t InsertBatch(std::span<const Edge> batch);
+  size_t DeleteBatch(std::span<const Edge> batch);
+
+  // Single-edge operations (serial).
+  bool InsertEdge(VertexId src, VertexId dst);
+  bool DeleteEdge(VertexId src, VertexId dst);
+  bool HasEdge(VertexId src, VertexId dst) const;
+
+  VertexId num_vertices() const { return static_cast<VertexId>(blocks_.size()); }
+  EdgeCount num_edges() const { return num_edges_; }
+  size_t degree(VertexId v) const { return blocks_[v].degree; }
+
+  // Applies f(u) to every neighbor u of v in ascending order.
+  template <typename F>
+  void map_neighbors(VertexId v, F&& f) const {
+    const VertexBlock& vb = blocks_[v];
+    for (uint32_t i = 0; i < vb.inline_count; ++i) {
+      f(vb.inline_edges[i]);
+    }
+    if (vb.tail != nullptr) {
+      vb.tail->Map(f);
+    }
+  }
+
+  // Appends v's neighbors, ascending, to out (the array staging used by the
+  // TC kernel, §6.3).
+  void FillNeighbors(VertexId v, std::vector<VertexId>* out) const {
+    out->reserve(out->size() + degree(v));
+    map_neighbors(v, [out](VertexId u) { out->push_back(u); });
+  }
+
+  size_t memory_footprint() const;
+  // RIA index arrays + LIA models/types: Table 3's index overhead.
+  size_t index_bytes() const;
+
+  const CoreStats& stats() const { return stats_; }
+  CoreStats& mutable_stats() { return stats_; }
+  const Options& options() const { return options_; }
+
+  // Deep structural check across every vertex (tests only; O(E)).
+  bool CheckInvariants() const;
+
+ private:
+  struct VertexBlock {
+    uint32_t degree = 0;
+    uint32_t inline_count = 0;
+    VertexId inline_edges[kInlineCap];
+    HiNode* tail = nullptr;  // owned; raw to keep the block one cache line
+  };
+  static_assert(sizeof(VertexBlock) == kCacheLineBytes);
+
+  bool InsertIntoVertex(VertexBlock& vb, VertexId dst);
+  bool DeleteFromVertex(VertexBlock& vb, VertexId dst);
+
+  ThreadPool& pool() const;
+
+  Options options_;
+  std::vector<VertexBlock> blocks_;
+  EdgeCount num_edges_ = 0;
+  ThreadPool* pool_ = nullptr;
+  CoreStats stats_;
+};
+
+}  // namespace lsg
+
+#endif  // SRC_CORE_LSGRAPH_H_

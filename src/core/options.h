@@ -1,0 +1,51 @@
+// Tunables of the LSGraph representation (paper §5 "Graph Data").
+#ifndef SRC_CORE_OPTIONS_H_
+#define SRC_CORE_OPTIONS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "src/util/cache.h"
+#include "src/util/graph_types.h"
+
+namespace lsg {
+
+// Engine-wide update counters, shared by all structures of one graph.
+// Atomic because batch updates run one vertex per thread.
+struct CoreStats {
+  std::atomic<uint64_t> ria_to_hitree_conversions{0};  // §6.2's RIA→HITree count
+  std::atomic<uint64_t> ria_expansions{0};
+  std::atomic<uint64_t> lia_child_creations{0};        // vertical movements
+
+  void Clear() {
+    ria_to_hitree_conversions = 0;
+    ria_expansions = 0;
+    lia_child_creations = 0;
+  }
+};
+
+struct Options {
+  // Space amplification factor α: gapped arrays are allocated at
+  // (element count * alpha). Default 1.2 (§6.5 trades update speed against
+  // analytics locality and memory).
+  double alpha = 1.2;
+
+  // Threshold M: adjacency tails up to M ids use a RIA; above M they use a
+  // HITree rooted at a LIA. Default 4096 = 2^12 (§6.5).
+  uint32_t m_threshold = 4096;
+
+  // Threshold A: tails up to A ids use a plain sorted array (no index).
+  // The paper sets A to two cache lines of ids (§5).
+  uint32_t a_threshold = 2 * kPerCacheLine<VertexId>;
+
+  // Block size BKS for RIA and LIA, in ids; one cache line (§5).
+  uint32_t block_size = kPerCacheLine<VertexId>;
+
+  // Optional engine-wide counters; may be null.
+  CoreStats* stats = nullptr;
+};
+
+}  // namespace lsg
+
+#endif  // SRC_CORE_OPTIONS_H_

@@ -1,0 +1,268 @@
+#include "src/core/ria.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace lsg {
+
+Ria::Ria(const Options& options)
+    : block_size_(options.block_size), alpha_(options.alpha) {
+  assert(block_size_ >= 2 && block_size_ <= 0xffff);
+  assert(alpha_ > 1.0 && alpha_ < block_size_ / 2.0);
+}
+
+void Ria::BulkLoad(std::span<const VertexId> sorted_ids) {
+  size_ = sorted_ids.size();
+  if (size_ == 0) {
+    slots_.clear();
+    index_.clear();
+    counts_.clear();
+    return;
+  }
+  size_t want_slots = static_cast<size_t>(size_ * alpha_) + 1;
+  size_t nb = (want_slots + block_size_ - 1) / block_size_;
+  slots_.assign(nb * block_size_, 0);
+  index_.assign(nb, 0);
+  counts_.assign(nb, 0);
+  size_t base = size_ / nb;
+  size_t rem = size_ % nb;
+  assert(base >= 1);
+  size_t src = 0;
+  for (size_t b = 0; b < nb; ++b) {
+    size_t take = base + (b < rem ? 1 : 0);
+    for (size_t i = 0; i < take; ++i) {
+      slots_[b * block_size_ + i] = sorted_ids[src++];
+    }
+    counts_[b] = static_cast<uint16_t>(take);
+    index_[b] = slots_[b * block_size_];
+  }
+  assert(src == size_);
+}
+
+size_t Ria::FindBlock(VertexId id) const {
+  // The redundant index is small and contiguous: one binary search touching
+  // O(1) cache lines replaces the PMA's dependent probe chain.
+  size_t b = std::upper_bound(index_.begin(), index_.end(), id) - index_.begin();
+  return b == 0 ? 0 : b - 1;
+}
+
+size_t Ria::MovementBound() const {
+  return std::max<size_t>(1, std::bit_width(counts_.size()) - 1);
+}
+
+bool Ria::InsertIntoBlock(size_t b, VertexId id) {
+  VertexId* block = slots_.data() + b * block_size_;
+  uint16_t n = counts_[b];
+  VertexId* end = block + n;
+  VertexId* it = std::lower_bound(block, end, id);
+  if (it != end && *it == id) {
+    return false;  // duplicate; no change
+  }
+  assert(n < block_size_);
+  std::copy_backward(it, end, end + 1);
+  *it = id;
+  ++counts_[b];
+  index_[b] = block[0];
+  stats_.elements_moved += end - it + 1;
+  return true;
+}
+
+void Ria::CascadeRight(size_t from, size_t to, VertexId id) {
+  // Push one id across each block boundary from `from` toward the free
+  // block `to`; every hop keeps blocks sorted because the pushed id is the
+  // largest of its source block and below the next block's first id.
+  VertexId* home = slots_.data() + from * block_size_;
+  VertexId push;
+  if (id > home[counts_[from] - 1]) {
+    push = id;
+  } else {
+    push = home[counts_[from] - 1];
+    --counts_[from];
+    bool ok = InsertIntoBlock(from, id);
+    assert(ok);
+    (void)ok;
+  }
+  for (size_t k = from + 1; k <= to; ++k) {
+    VertexId* block = slots_.data() + k * block_size_;
+    uint16_t n = counts_[k];
+    if (k < to) {
+      // Full block: its last id moves on; `push` becomes its new first.
+      assert(n == block_size_);
+      VertexId next_push = block[n - 1];
+      std::copy_backward(block, block + n - 1, block + n);
+      block[0] = push;
+      index_[k] = push;
+      stats_.elements_moved += n;
+      push = next_push;
+    } else {
+      std::copy_backward(block, block + n, block + n + 1);
+      block[0] = push;
+      ++counts_[k];
+      index_[k] = push;
+      stats_.elements_moved += n + 1;
+    }
+  }
+  ++stats_.cascades;
+}
+
+void Ria::CascadeLeft(size_t from, size_t to, VertexId id) {
+  VertexId* home = slots_.data() + from * block_size_;
+  // Evict the home block's first id (it is <= id because FindBlock picked
+  // this block), insert id, and push the evictee leftward.
+  VertexId push = home[0];
+  std::copy(home + 1, home + counts_[from], home);
+  --counts_[from];
+  stats_.elements_moved += counts_[from];
+  bool ok = InsertIntoBlock(from, id);
+  assert(ok);
+  (void)ok;
+  for (size_t k = from; k-- > to;) {
+    VertexId* block = slots_.data() + k * block_size_;
+    uint16_t n = counts_[k];
+    if (k > to) {
+      // Full block: its first id moves on; `push` is appended.
+      assert(n == block_size_);
+      VertexId next_push = block[0];
+      std::copy(block + 1, block + n, block);
+      block[n - 1] = push;
+      index_[k] = block[0];
+      stats_.elements_moved += n;
+      push = next_push;
+    } else {
+      block[n] = push;
+      ++counts_[k];
+      stats_.elements_moved += 1;
+    }
+  }
+  ++stats_.cascades;
+}
+
+void Ria::ExpandAndInsert(VertexId id) {
+  std::vector<VertexId> ids = Decode();
+  ids.insert(std::lower_bound(ids.begin(), ids.end(), id), id);
+  BulkLoad(ids);
+  ++stats_.expansions;
+}
+
+Ria::InsertResult Ria::TryInsert(VertexId id) {
+  if (counts_.empty()) {
+    VertexId one[1] = {id};
+    BulkLoad(one);
+    return InsertResult::kInserted;
+  }
+  size_t b = FindBlock(id);
+  if (counts_[b] < block_size_) {
+    if (!InsertIntoBlock(b, id)) {
+      return InsertResult::kDuplicate;
+    }
+    ++size_;
+    return InsertResult::kInserted;
+  }
+  // Duplicate check before any movement.
+  {
+    const VertexId* block = slots_.data() + b * block_size_;
+    if (std::binary_search(block, block + counts_[b], id)) {
+      return InsertResult::kDuplicate;
+    }
+  }
+  size_t bound = MovementBound();
+  for (size_t d = 1; d <= bound; ++d) {
+    if (b + d < counts_.size() && counts_[b + d] < block_size_) {
+      CascadeRight(b, b + d, id);
+      ++size_;
+      return InsertResult::kInserted;
+    }
+    if (d <= b && counts_[b - d] < block_size_) {
+      CascadeLeft(b, b - d, id);
+      ++size_;
+      return InsertResult::kInserted;
+    }
+  }
+  return InsertResult::kNeedExpand;
+}
+
+bool Ria::Insert(VertexId id) {
+  switch (TryInsert(id)) {
+    case InsertResult::kInserted:
+      return true;
+    case InsertResult::kDuplicate:
+      return false;
+    case InsertResult::kNeedExpand:
+      ExpandAndInsert(id);  // BulkLoad inside re-derives size_
+      return true;
+  }
+  return false;
+}
+
+bool Ria::Contains(VertexId id) const {
+  if (counts_.empty()) {
+    return false;
+  }
+  size_t b = FindBlock(id);
+  const VertexId* block = slots_.data() + b * block_size_;
+  return std::binary_search(block, block + counts_[b], id);
+}
+
+bool Ria::Delete(VertexId id) {
+  if (counts_.empty()) {
+    return false;
+  }
+  size_t b = FindBlock(id);
+  VertexId* block = slots_.data() + b * block_size_;
+  VertexId* end = block + counts_[b];
+  VertexId* it = std::lower_bound(block, end, id);
+  if (it == end || *it != id) {
+    return false;
+  }
+  std::copy(it + 1, end, it);
+  --counts_[b];
+  --size_;
+  stats_.elements_moved += end - it - 1;
+  if (counts_[b] == 0) {
+    // No empty blocks allowed (the index entry would dangle): rebuild.
+    BulkLoad(Decode());
+  } else {
+    index_[b] = block[0];
+  }
+  return true;
+}
+
+size_t Ria::memory_footprint() const {
+  return slots_.capacity() * sizeof(VertexId) + index_bytes();
+}
+
+size_t Ria::index_bytes() const {
+  return index_.capacity() * sizeof(VertexId) +
+         counts_.capacity() * sizeof(uint16_t);
+}
+
+bool Ria::CheckInvariants() const {
+  if (counts_.size() != index_.size() ||
+      slots_.size() != counts_.size() * block_size_) {
+    return false;
+  }
+  size_t total = 0;
+  VertexId prev = 0;
+  bool first = true;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0 || counts_[b] > block_size_) {
+      return false;
+    }
+    const VertexId* block = slots_.data() + b * block_size_;
+    if (index_[b] != block[0]) {
+      return false;
+    }
+    for (size_t i = 0; i < counts_[b]; ++i) {
+      if (!first && block[i] <= prev) {
+        return false;
+      }
+      prev = block[i];
+      first = false;
+      ++total;
+    }
+  }
+  return total == size_;
+}
+
+}  // namespace lsg

@@ -1,0 +1,124 @@
+// Redundant Indexed Array (paper §3.1).
+//
+// A RIA stores a sorted id set in a gapped array carved into cache-line
+// blocks, plus a compact redundant index holding the first id of every
+// block. Searches read the index (contiguous, cache-friendly) to pick a
+// block, then search inside one block: two cache-line transfers instead of a
+// dependent binary-search chain. Inserts move data only inside a block, or —
+// on a full block — cascade one id at a time toward the nearest block with a
+// gap, bounded to log2(num_blocks) blocks (§3.2's regulated horizontal
+// movement); past the bound the array is rebuilt with α amplification.
+//
+// Unlike a PMA there are no per-block density bounds and no empty blocks:
+// LSGraph serializes writers per vertex, so gaps exist purely to absorb
+// inserts (§3.1).
+//
+// Not thread-safe; single writer per instance.
+#ifndef SRC_CORE_RIA_H_
+#define SRC_CORE_RIA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/options.h"
+#include "src/util/graph_types.h"
+
+namespace lsg {
+
+struct RiaStats {
+  uint64_t elements_moved = 0;  // ids rewritten by shifts and cascades
+  uint64_t expansions = 0;      // α-rebuilds triggered by the movement bound
+  uint64_t cascades = 0;        // inserts that spilled past their home block
+};
+
+class Ria {
+ public:
+  explicit Ria(const Options& options);
+
+  // Rebuilds from sorted unique ids, spreading them evenly over
+  // ceil(n * alpha) slots of whole blocks (Algorithm 1, RIA branch).
+  void BulkLoad(std::span<const VertexId> sorted_ids);
+
+  enum class InsertResult {
+    kInserted,
+    kDuplicate,
+    // The id's home block is full and no gap exists within the movement
+    // bound; the caller decides between α-expansion and conversion to a
+    // HITree (Algorithm 2 lines 10-12).
+    kNeedExpand,
+  };
+
+  // Inserts without ever growing the array.
+  InsertResult TryInsert(VertexId id);
+
+  // TryInsert + α-expansion on kNeedExpand.
+  bool Insert(VertexId id);
+  bool Delete(VertexId id);
+  bool Contains(VertexId id) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return slots_.size(); }
+  size_t num_blocks() const { return counts_.size(); }
+
+  // Smallest id; requires !empty().
+  VertexId First() const { return index_[0]; }
+
+  // Applies f(id) in ascending order.
+  template <typename F>
+  void Map(F&& f) const {
+    for (size_t b = 0; b < counts_.size(); ++b) {
+      const VertexId* block = slots_.data() + b * block_size_;
+      for (size_t i = 0; i < counts_[b]; ++i) {
+        f(block[i]);
+      }
+    }
+  }
+
+  std::vector<VertexId> Decode() const {
+    std::vector<VertexId> out;
+    out.reserve(size_);
+    Map([&out](VertexId v) { out.push_back(v); });
+    return out;
+  }
+
+  size_t memory_footprint() const;
+  size_t index_bytes() const;  // redundant index + occupancy overhead
+
+  const RiaStats& stats() const { return stats_; }
+
+  // Invariants: per-block sortedness and packing, index redundancy
+  // (index[b] == first id of block b), no empty block, size consistency.
+  bool CheckInvariants() const;
+
+ private:
+  size_t block_size_;
+  double alpha_;
+
+  // Block b occupies slots_[b*block_size_, b*block_size_+counts_[b]).
+  std::vector<VertexId> slots_;
+  std::vector<VertexId> index_;    // first id of each block (redundant copy)
+  std::vector<uint16_t> counts_;   // ids resident in each block
+  size_t size_ = 0;
+  RiaStats stats_;
+
+  // Index of the block whose range contains `id`.
+  size_t FindBlock(VertexId id) const;
+  // Max blocks a cascade may traverse before expanding.
+  size_t MovementBound() const;
+
+  bool InsertIntoBlock(size_t b, VertexId id);
+  // Cascades one id per hop from block `from` toward free block `to`
+  // (to > from: rightward; to < from: leftward), then inserts id into its
+  // home block. Updates the index along the way.
+  void CascadeRight(size_t from, size_t to, VertexId id);
+  void CascadeLeft(size_t from, size_t to, VertexId id);
+
+  void ExpandAndInsert(VertexId id);
+};
+
+}  // namespace lsg
+
+#endif  // SRC_CORE_RIA_H_

@@ -1,0 +1,107 @@
+// Delta-varint compressed chunks of sorted vertex ids.
+//
+// Aspen and PaC-tree difference-encode the id chunks hanging off their search
+// trees; that compression is why they beat LSGraph on memory (Table 3) while
+// paying decode cost on every traversal (Fig. 13). This module provides the
+// same encoding: the first id relative to a base, subsequent ids as positive
+// deltas, all LEB128 varints.
+#ifndef SRC_CTREE_COMPRESSED_CHUNK_H_
+#define SRC_CTREE_COMPRESSED_CHUNK_H_
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/graph_types.h"
+
+namespace lsg {
+
+inline void AppendVarint(std::vector<uint8_t>& out, uint32_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+inline uint32_t ReadVarint(const uint8_t*& p) {
+  uint32_t v = 0;
+  int shift = 0;
+  for (;;) {
+    uint8_t b = *p++;
+    v |= static_cast<uint32_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      return v;
+    }
+    shift += 7;
+  }
+}
+
+// A sorted set of ids strictly greater than `base`, stored delta-compressed.
+class CompressedChunk {
+ public:
+  CompressedChunk() = default;
+
+  // Builds from sorted unique ids, all > base.
+  static CompressedChunk Encode(std::span<const VertexId> sorted, VertexId base) {
+    CompressedChunk c;
+    c.count_ = sorted.size();
+    VertexId prev = base;
+    for (VertexId v : sorted) {
+      assert(v > prev);
+      AppendVarint(c.bytes_, v - prev);
+      prev = v;
+    }
+    c.bytes_.shrink_to_fit();
+    return c;
+  }
+
+  size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  size_t byte_size() const { return bytes_.size(); }
+  size_t memory_footprint() const {
+    return bytes_.capacity() + sizeof(*this);
+  }
+
+  // Applies f(id) in ascending order.
+  template <typename F>
+  void Map(VertexId base, F&& f) const {
+    const uint8_t* p = bytes_.data();
+    VertexId v = base;
+    for (size_t i = 0; i < count_; ++i) {
+      v += ReadVarint(p);
+      f(v);
+    }
+  }
+
+  std::vector<VertexId> Decode(VertexId base) const {
+    std::vector<VertexId> out;
+    out.reserve(count_);
+    Map(base, [&out](VertexId v) { out.push_back(v); });
+    return out;
+  }
+
+  bool Contains(VertexId base, VertexId key) const {
+    const uint8_t* p = bytes_.data();
+    VertexId v = base;
+    for (size_t i = 0; i < count_; ++i) {
+      v += ReadVarint(p);
+      if (v == key) {
+        return true;
+      }
+      if (v > key) {
+        return false;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  uint32_t count_ = 0;
+};
+
+}  // namespace lsg
+
+#endif  // SRC_CTREE_COMPRESSED_CHUNK_H_

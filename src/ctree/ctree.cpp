@@ -1,0 +1,393 @@
+#include "src/ctree/ctree.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace lsg {
+
+namespace {
+
+// Shared-structure overhead per node (shared_ptr control block).
+constexpr size_t kControlBlockBytes = 32;
+
+CompressedChunk EncodePrefix(std::span<const VertexId> sorted) {
+  std::vector<VertexId> shifted(sorted.begin(), sorted.end());
+  for (VertexId& v : shifted) {
+    ++v;
+  }
+  return CompressedChunk::Encode(shifted, 0);
+}
+
+std::vector<VertexId> DecodePrefix(const CompressedChunk& prefix) {
+  std::vector<VertexId> out = prefix.Decode(0);
+  for (VertexId& v : out) {
+    --v;
+  }
+  return out;
+}
+
+}  // namespace
+
+CTree::CTree(uint32_t expected_chunk_size)
+    : chunk_mask_(expected_chunk_size - 1) {
+  assert(std::has_single_bit(expected_chunk_size));
+}
+
+uint64_t CTree::Hash(VertexId key) {
+  uint64_t z = key + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+bool CTree::IsHead(VertexId key) const {
+  return (Hash(key) & chunk_mask_) == 0;
+}
+
+CTree::NodeRef CTree::MakeNode(VertexId head, NodeRef left, NodeRef right,
+                               CompressedChunk tail) {
+  return std::make_shared<const Node>(Node{head, Hash(head), std::move(left),
+                                           std::move(right), std::move(tail)});
+}
+
+bool CTree::Contains(VertexId key) const {
+  const Node* pred = nullptr;
+  const Node* cur = root_.get();
+  while (cur != nullptr) {
+    if (key < cur->head) {
+      cur = cur->left.get();
+    } else if (key == cur->head) {
+      return true;
+    } else {
+      pred = cur;
+      cur = cur->right.get();
+    }
+  }
+  if (pred != nullptr) {
+    return pred->tail.Contains(pred->head, key);
+  }
+  return prefix_.Contains(0, key + 1);
+}
+
+CTree::NodeRef CTree::Join(const NodeRef& l, const NodeRef& r) {
+  if (l == nullptr) {
+    return r;
+  }
+  if (r == nullptr) {
+    return l;
+  }
+  if (l->priority >= r->priority) {
+    return MakeNode(l->head, l->left, Join(l->right, r), l->tail);
+  }
+  return MakeNode(r->head, Join(l, r->left), r->right, r->tail);
+}
+
+CTree::SplitResult CTree::Split(const NodeRef& t, VertexId k) {
+  if (t == nullptr) {
+    return {};
+  }
+  if (k < t->head) {
+    SplitResult res = Split(t->left, k);
+    res.right = MakeNode(t->head, res.right, t->right, t->tail);
+    return res;
+  }
+  assert(k != t->head);
+  SplitResult res = Split(t->right, k);
+  if (res.left == nullptr) {
+    // No head in (t->head, k): t is k's predecessor; cut its tail at k.
+    std::vector<VertexId> ids = t->tail.Decode(t->head);
+    auto cut = std::lower_bound(ids.begin(), ids.end(), k);
+    if (cut != ids.end()) {
+      res.spill.assign(cut, ids.end());
+      ids.erase(cut, ids.end());
+      res.left = MakeNode(t->head, t->left, nullptr,
+                          CompressedChunk::Encode(ids, t->head));
+      return res;
+    }
+  }
+  res.left = MakeNode(t->head, t->left, res.left, t->tail);
+  return res;
+}
+
+CTree::NodeRef CTree::RewriteTail(const NodeRef& t, VertexId key, bool insert,
+                                  bool* changed) {
+  // Precondition: the predecessor head of `key` exists in t.
+  assert(t != nullptr);
+  if (key < t->head) {
+    return MakeNode(t->head, RewriteTail(t->left, key, insert, changed),
+                    t->right, t->tail);
+  }
+  // Is the predecessor deeper in the right subtree?
+  const Node* min_right = t->right.get();
+  while (min_right != nullptr && min_right->left != nullptr) {
+    min_right = min_right->left.get();
+  }
+  if (min_right != nullptr && min_right->head < key) {
+    return MakeNode(t->head, t->left,
+                    RewriteTail(t->right, key, insert, changed), t->tail);
+  }
+  // t is the predecessor: rebuild its tail.
+  std::vector<VertexId> ids = t->tail.Decode(t->head);
+  auto it = std::lower_bound(ids.begin(), ids.end(), key);
+  if (insert) {
+    if (it != ids.end() && *it == key) {
+      *changed = false;
+      return t;
+    }
+    ids.insert(it, key);
+  } else {
+    if (it == ids.end() || *it != key) {
+      *changed = false;
+      return t;
+    }
+    ids.erase(it);
+  }
+  *changed = true;
+  return MakeNode(t->head, t->left, t->right,
+                  CompressedChunk::Encode(ids, t->head));
+}
+
+bool CTree::Insert(VertexId key) {
+  if (Contains(key)) {
+    return false;
+  }
+  if (IsHead(key)) {
+    SplitResult res = Split(root_, key);
+    std::vector<VertexId> tail_ids = std::move(res.spill);
+    if (res.left == nullptr && !prefix_.empty()) {
+      // key lands below the first head: prefix ids above key become its tail.
+      std::vector<VertexId> pre = DecodePrefix(prefix_);
+      auto cut = std::lower_bound(pre.begin(), pre.end(), key);
+      assert(tail_ids.empty());
+      tail_ids.assign(cut, pre.end());
+      pre.erase(cut, pre.end());
+      prefix_ = EncodePrefix(pre);
+    }
+    NodeRef node = MakeNode(key, nullptr, nullptr,
+                            CompressedChunk::Encode(tail_ids, key));
+    root_ = Join(Join(res.left, node), res.right);
+  } else {
+    // Non-head: goes into the predecessor head's tail, or the prefix.
+    const Node* pred = nullptr;
+    for (const Node* cur = root_.get(); cur != nullptr;) {
+      if (key < cur->head) {
+        cur = cur->left.get();
+      } else {
+        pred = cur;
+        cur = cur->right.get();
+      }
+    }
+    if (pred == nullptr) {
+      std::vector<VertexId> pre = DecodePrefix(prefix_);
+      pre.insert(std::lower_bound(pre.begin(), pre.end(), key), key);
+      prefix_ = EncodePrefix(pre);
+    } else {
+      bool changed = false;
+      root_ = RewriteTail(root_, key, /*insert=*/true, &changed);
+      assert(changed);
+    }
+  }
+  ++size_;
+  return true;
+}
+
+bool CTree::Delete(VertexId key) {
+  if (!Contains(key)) {
+    return false;
+  }
+  if (IsHead(key)) {
+    // Remove the head node, then fold its orphaned tail into the predecessor
+    // chunk (or the prefix when no predecessor head remains).
+    std::vector<VertexId> orphan;
+    struct Remover {
+      VertexId key;
+      std::vector<VertexId>* orphan;
+      NodeRef operator()(const NodeRef& t) {
+        assert(t != nullptr);
+        if (key < t->head) {
+          return MakeNode(t->head, (*this)(t->left), t->right, t->tail);
+        }
+        if (key > t->head) {
+          return MakeNode(t->head, t->left, (*this)(t->right), t->tail);
+        }
+        *orphan = t->tail.Decode(t->head);
+        return Join(t->left, t->right);
+      }
+    };
+    root_ = Remover{key, &orphan}(root_);
+    if (!orphan.empty()) {
+      const Node* pred = nullptr;
+      for (const Node* cur = root_.get(); cur != nullptr;) {
+        if (key < cur->head) {
+          cur = cur->left.get();
+        } else {
+          pred = cur;
+          cur = cur->right.get();
+        }
+      }
+      if (pred == nullptr) {
+        std::vector<VertexId> pre = DecodePrefix(prefix_);
+        pre.insert(pre.end(), orphan.begin(), orphan.end());
+        prefix_ = EncodePrefix(pre);
+      } else {
+        // Merge orphan into pred's tail via one rewrite.
+        std::vector<VertexId> merged = pred->tail.Decode(pred->head);
+        merged.insert(merged.end(), orphan.begin(), orphan.end());
+        std::sort(merged.begin(), merged.end());
+        struct TailSetter {
+          VertexId target;
+          const std::vector<VertexId>* ids;
+          NodeRef operator()(const NodeRef& t) {
+            assert(t != nullptr);
+            if (target < t->head) {
+              return MakeNode(t->head, (*this)(t->left), t->right, t->tail);
+            }
+            if (target > t->head) {
+              return MakeNode(t->head, t->left, (*this)(t->right), t->tail);
+            }
+            return MakeNode(t->head, t->left, t->right,
+                            CompressedChunk::Encode(*ids, t->head));
+          }
+        };
+        root_ = TailSetter{pred->head, &merged}(root_);
+      }
+    }
+  } else {
+    const Node* pred = nullptr;
+    for (const Node* cur = root_.get(); cur != nullptr;) {
+      if (key < cur->head) {
+        cur = cur->left.get();
+      } else {
+        pred = cur;
+        cur = cur->right.get();
+      }
+    }
+    if (pred == nullptr) {
+      std::vector<VertexId> pre = DecodePrefix(prefix_);
+      pre.erase(std::find(pre.begin(), pre.end(), key));
+      prefix_ = EncodePrefix(pre);
+    } else {
+      bool changed = false;
+      root_ = RewriteTail(root_, key, /*insert=*/false, &changed);
+      assert(changed);
+    }
+  }
+  --size_;
+  return true;
+}
+
+void CTree::BulkLoad(std::span<const VertexId> sorted_keys) {
+  root_ = nullptr;
+  prefix_ = CompressedChunk();
+  size_ = sorted_keys.size();
+
+  // Leading non-heads form the prefix.
+  size_t i = 0;
+  while (i < sorted_keys.size() && !IsHead(sorted_keys[i])) {
+    ++i;
+  }
+  prefix_ = EncodePrefix(sorted_keys.subspan(0, i));
+
+  // Build (head, tail) groups, then a cartesian tree on priorities. Nodes
+  // are mutable during construction only.
+  struct MutableNode {
+    VertexId head;
+    std::shared_ptr<Node> node;
+  };
+  std::vector<std::shared_ptr<Node>> spine;  // decreasing priority stack
+  std::shared_ptr<Node> root;
+  while (i < sorted_keys.size()) {
+    VertexId head = sorted_keys[i++];
+    size_t tail_begin = i;
+    while (i < sorted_keys.size() && !IsHead(sorted_keys[i])) {
+      ++i;
+    }
+    auto node = std::make_shared<Node>(
+        Node{head, Hash(head), nullptr, nullptr,
+             CompressedChunk::Encode(
+                 sorted_keys.subspan(tail_begin, i - tail_begin), head)});
+    std::shared_ptr<Node> last_popped;
+    while (!spine.empty() && spine.back()->priority < node->priority) {
+      last_popped = spine.back();
+      spine.pop_back();
+    }
+    node->left = last_popped;
+    if (!spine.empty()) {
+      spine.back()->right = node;
+    } else {
+      root = node;
+    }
+    spine.push_back(node);
+  }
+  root_ = root;
+}
+
+size_t CTree::FootprintNode(const Node* n) {
+  if (n == nullptr) {
+    return 0;
+  }
+  return sizeof(Node) + kControlBlockBytes + n->tail.byte_size() +
+         FootprintNode(n->left.get()) + FootprintNode(n->right.get());
+}
+
+size_t CTree::memory_footprint() const {
+  return sizeof(*this) + prefix_.byte_size() + FootprintNode(root_.get());
+}
+
+bool CTree::CheckNode(const Node* n, uint64_t max_priority, VertexId lo,
+                      VertexId hi, size_t* keys) {
+  if (n == nullptr) {
+    return true;
+  }
+  if (n->priority > max_priority || n->head < lo || n->head >= hi) {
+    return false;
+  }
+  *keys += 1 + n->tail.count();
+  // Tail ids must fall strictly between the head and its successor.
+  VertexId succ = hi;
+  if (n->right != nullptr) {
+    const Node* m = n->right.get();
+    while (m->left != nullptr) {
+      m = m->left.get();
+    }
+    succ = m->head;
+  }
+  bool ok = true;
+  VertexId prev = n->head;
+  n->tail.Map(n->head, [&](VertexId v) {
+    if (v <= prev || v >= succ) {
+      ok = false;
+    }
+    prev = v;
+  });
+  return ok && CheckNode(n->left.get(), n->priority, lo, n->head, keys) &&
+         CheckNode(n->right.get(), n->priority, n->head + 1, hi, keys);
+}
+
+bool CTree::CheckInvariants() const {
+  size_t keys = prefix_.count();
+  // Prefix ids must sit below the first head.
+  if (root_ != nullptr && !prefix_.empty()) {
+    const Node* m = root_.get();
+    while (m->left != nullptr) {
+      m = m->left.get();
+    }
+    VertexId first_head = m->head;
+    bool ok = true;
+    prefix_.Map(0, [&](VertexId shifted) {
+      if (shifted - 1 >= first_head) {
+        ok = false;
+      }
+    });
+    if (!ok) {
+      return false;
+    }
+  }
+  if (!CheckNode(root_.get(), ~uint64_t{0}, 0, kInvalidVertex, &keys)) {
+    return false;
+  }
+  return keys == size_;
+}
+
+}  // namespace lsg

@@ -1,0 +1,124 @@
+// C-tree: a purely-functional (path-copying) chunked search tree over vertex
+// ids, reimplementing the structure underlying Aspen and PaC-tree (§6.1).
+//
+// Ids whose hash is 0 mod the expected chunk size are *heads*; heads form a
+// treap (priority = hash), and each head carries a compressed chunk of the
+// non-head ids between it and the next head. Ids below the first head live in
+// a root-level prefix chunk. All updates path-copy, so every insert allocates
+// O(log n) fresh nodes — the random-allocation, pointer-chasing behaviour the
+// paper contrasts with LSGraph's arrays.
+//
+// The Aspen baseline uses a small expected chunk size (hash selection gives
+// the "randomized chunk sizes" of §6.1); the PaC-tree baseline uses a larger
+// one, approximating "arrays only at leaves" by making chunks dominate nodes.
+//
+// Value semantics: CTree is a cheap handle (shared_ptr root); copies share
+// structure, and mutation replaces only the handle's path.
+#ifndef SRC_CTREE_CTREE_H_
+#define SRC_CTREE_CTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/ctree/compressed_chunk.h"
+#include "src/util/graph_types.h"
+
+namespace lsg {
+
+class CTree {
+ public:
+  // expected_chunk_size must be a power of two (head selection masks the
+  // hash with it).
+  explicit CTree(uint32_t expected_chunk_size = 16);
+
+  bool Contains(VertexId key) const;
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Functional update on this handle: returns true if membership changed.
+  bool Insert(VertexId key);
+  bool Delete(VertexId key);
+
+  // Replaces contents from a sorted unique id list; O(n).
+  void BulkLoad(std::span<const VertexId> sorted_keys);
+
+  // Applies f(id) in ascending order.
+  template <typename F>
+  void Map(F&& f) const {
+    // The prefix chunk stores id+1 relative to base 0 so that id 0 remains
+    // encodable (chunks hold ids strictly above their base).
+    prefix_.Map(0, [&f](VertexId shifted) { f(shifted - 1); });
+    MapNode(root_.get(), f);
+  }
+
+  std::vector<VertexId> Decode() const {
+    std::vector<VertexId> out;
+    out.reserve(size_);
+    Map([&out](VertexId v) { out.push_back(v); });
+    return out;
+  }
+
+  size_t memory_footprint() const;
+
+  // Tree structure checks for tests: heap order on priorities, BST order on
+  // heads, chunk ranges nested between heads, size consistency.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node;
+  using NodeRef = std::shared_ptr<const Node>;
+
+  struct Node {
+    VertexId head;
+    uint64_t priority;
+    NodeRef left;
+    NodeRef right;
+    CompressedChunk tail;  // ids in (head, successor-head)
+  };
+
+  bool IsHead(VertexId key) const;
+  static uint64_t Hash(VertexId key);
+
+  static NodeRef MakeNode(VertexId head, NodeRef left, NodeRef right,
+                          CompressedChunk tail);
+  static NodeRef Join(const NodeRef& l, const NodeRef& r);
+
+  struct SplitResult {
+    NodeRef left;
+    NodeRef right;
+    std::vector<VertexId> spill;  // tail ids >= k cut off the predecessor
+  };
+  static SplitResult Split(const NodeRef& t, VertexId k);
+
+  // Path-copies down to the predecessor head of `key` and rebuilds its tail
+  // with `key` inserted (insert=true) or removed. Returns the new subtree, or
+  // nullptr in `*found` failure cases (see .cpp).
+  static NodeRef RewriteTail(const NodeRef& t, VertexId key, bool insert,
+                             bool* changed);
+
+  template <typename F>
+  static void MapNode(const Node* n, F& f) {
+    if (n == nullptr) {
+      return;
+    }
+    MapNode(n->left.get(), f);
+    f(n->head);
+    n->tail.Map(n->head, f);
+    MapNode(n->right.get(), f);
+  }
+
+  static size_t FootprintNode(const Node* n);
+  static bool CheckNode(const Node* n, uint64_t max_priority, VertexId lo,
+                        VertexId hi, size_t* keys);
+
+  NodeRef root_;
+  CompressedChunk prefix_;  // ids below the first head
+  size_t size_ = 0;
+  uint32_t chunk_mask_;
+};
+
+}  // namespace lsg
+
+#endif  // SRC_CTREE_CTREE_H_

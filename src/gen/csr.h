@@ -1,0 +1,71 @@
+// Static Compressed Sparse Row snapshot (paper Fig. 1a).
+//
+// Used as the oracle representation in tests (engines must agree with a CSR
+// built from the same edge list) and as the static-baseline substrate for
+// analytics validation.
+#ifndef SRC_GEN_CSR_H_
+#define SRC_GEN_CSR_H_
+
+#include <cassert>
+#include <span>
+#include <vector>
+
+#include "src/util/graph_types.h"
+#include "src/util/sort.h"
+
+namespace lsg {
+
+class Csr {
+ public:
+  Csr() = default;
+
+  // Builds from an edge list; sorts and deduplicates internally.
+  static Csr FromEdges(VertexId num_vertices, std::vector<Edge> edges) {
+    RadixSortEdges(edges);
+    DedupSortedEdges(edges);
+    Csr csr;
+    csr.offsets_.assign(num_vertices + 1, 0);
+    csr.targets_.reserve(edges.size());
+    for (const Edge& e : edges) {
+      assert(e.src < num_vertices && e.dst < num_vertices);
+      ++csr.offsets_[e.src + 1];
+      csr.targets_.push_back(e.dst);
+    }
+    for (VertexId v = 0; v < num_vertices; ++v) {
+      csr.offsets_[v + 1] += csr.offsets_[v];
+    }
+    return csr;
+  }
+
+  VertexId num_vertices() const {
+    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+  }
+  EdgeCount num_edges() const { return targets_.size(); }
+
+  size_t degree(VertexId v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return {targets_.data() + offsets_[v], degree(v)};
+  }
+
+  // Applies f(u) to every out-neighbor u of v.
+  template <typename F>
+  void map_neighbors(VertexId v, F&& f) const {
+    for (VertexId u : neighbors(v)) {
+      f(u);
+    }
+  }
+
+  size_t memory_footprint() const {
+    return offsets_.capacity() * sizeof(EdgeCount) +
+           targets_.capacity() * sizeof(VertexId);
+  }
+
+ private:
+  std::vector<EdgeCount> offsets_;
+  std::vector<VertexId> targets_;
+};
+
+}  // namespace lsg
+
+#endif  // SRC_GEN_CSR_H_

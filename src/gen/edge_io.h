@@ -1,0 +1,83 @@
+// Edge-list file I/O: plain text ("src dst" per line, '#' comments, the SNAP
+// convention) and a packed little-endian binary format for fast reload.
+#ifndef SRC_GEN_EDGE_IO_H_
+#define SRC_GEN_EDGE_IO_H_
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/util/graph_types.h"
+
+namespace lsg {
+
+inline void WriteEdgesText(const std::string& path,
+                           const std::vector<Edge>& edges) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open for write: " + path);
+  }
+  for (const Edge& e : edges) {
+    std::fprintf(f, "%u %u\n", e.src, e.dst);
+  }
+  std::fclose(f);
+}
+
+inline std::vector<Edge> ReadEdgesText(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open for read: " + path);
+  }
+  std::vector<Edge> edges;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (line[0] == '#' || line[0] == '%' || line[0] == '\n') {
+      continue;
+    }
+    unsigned long src = 0;
+    unsigned long dst = 0;
+    if (std::sscanf(line, "%lu %lu", &src, &dst) == 2) {
+      edges.push_back(Edge{static_cast<VertexId>(src), static_cast<VertexId>(dst)});
+    }
+  }
+  std::fclose(f);
+  return edges;
+}
+
+inline void WriteEdgesBinary(const std::string& path,
+                             const std::vector<Edge>& edges) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open for write: " + path);
+  }
+  uint64_t count = edges.size();
+  std::fwrite(&count, sizeof(count), 1, f);
+  if (count != 0) {
+    std::fwrite(edges.data(), sizeof(Edge), count, f);
+  }
+  std::fclose(f);
+}
+
+inline std::vector<Edge> ReadEdgesBinary(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open for read: " + path);
+  }
+  uint64_t count = 0;
+  if (std::fread(&count, sizeof(count), 1, f) != 1) {
+    std::fclose(f);
+    throw std::runtime_error("truncated header: " + path);
+  }
+  std::vector<Edge> edges(count);
+  if (count != 0 && std::fread(edges.data(), sizeof(Edge), count, f) != count) {
+    std::fclose(f);
+    throw std::runtime_error("truncated body: " + path);
+  }
+  std::fclose(f);
+  return edges;
+}
+
+}  // namespace lsg
+
+#endif  // SRC_GEN_EDGE_IO_H_

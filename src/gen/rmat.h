@@ -1,0 +1,102 @@
+// Recursive-matrix (R-MAT) edge generator.
+//
+// The paper synthesizes both its RM dataset and every update batch with the
+// rMat generator at a=0.5, b=c=0.1, d=0.3 (§6.1); this is the same recursive
+// quadrant-descent construction. Deterministic in (seed, index), so batches
+// are reproducible and parallel generation needs no coordination.
+#ifndef SRC_GEN_RMAT_H_
+#define SRC_GEN_RMAT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/graph_types.h"
+#include "src/util/prng.h"
+
+namespace lsg {
+
+struct RmatParams {
+  int scale = 20;  // 2^scale vertices
+  double a = 0.5;
+  double b = 0.1;
+  double c = 0.1;
+  // d = 1 - a - b - c
+};
+
+class RmatGenerator {
+ public:
+  RmatGenerator(RmatParams params, uint64_t seed)
+      : params_(params), seed_(seed) {}
+
+  VertexId num_vertices() const { return VertexId{1} << params_.scale; }
+
+  // The i-th edge of the stream; stable under re-invocation.
+  Edge EdgeAt(uint64_t i) const {
+    SplitMix64 rng(MixSeed(seed_, i));
+    VertexId src = 0;
+    VertexId dst = 0;
+    double ab = params_.a + params_.b;
+    double abc = ab + params_.c;
+    for (int bit = params_.scale - 1; bit >= 0; --bit) {
+      double r = rng.NextDouble();
+      if (r < params_.a) {
+        // top-left: neither bit set
+      } else if (r < ab) {
+        dst |= VertexId{1} << bit;
+      } else if (r < abc) {
+        src |= VertexId{1} << bit;
+      } else {
+        src |= VertexId{1} << bit;
+        dst |= VertexId{1} << bit;
+      }
+    }
+    return Edge{src, dst};
+  }
+
+  // Generates edges [first, first + count) of the stream.
+  std::vector<Edge> Generate(uint64_t first, uint64_t count) const {
+    std::vector<Edge> edges;
+    edges.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      edges.push_back(EdgeAt(first + i));
+    }
+    return edges;
+  }
+
+ private:
+  RmatParams params_;
+  uint64_t seed_;
+};
+
+// Uniform Erdos-Renyi-style edge stream over 2^scale vertices, used by tests
+// as a low-skew contrast to rMat.
+class UniformGenerator {
+ public:
+  UniformGenerator(int scale, uint64_t seed) : scale_(scale), seed_(seed) {}
+
+  VertexId num_vertices() const { return VertexId{1} << scale_; }
+
+  Edge EdgeAt(uint64_t i) const {
+    SplitMix64 rng(MixSeed(seed_, i));
+    VertexId mask = (VertexId{1} << scale_) - 1;
+    return Edge{static_cast<VertexId>(rng.Next() & mask),
+                static_cast<VertexId>(rng.Next() & mask)};
+  }
+
+  std::vector<Edge> Generate(uint64_t first, uint64_t count) const {
+    std::vector<Edge> edges;
+    edges.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      edges.push_back(EdgeAt(first + i));
+    }
+    return edges;
+  }
+
+ private:
+  int scale_;
+  uint64_t seed_;
+};
+
+}  // namespace lsg
+
+#endif  // SRC_GEN_RMAT_H_

@@ -1,0 +1,55 @@
+// Engine-agnostic snapshot helpers: dump any engine's edges (for
+// serialization, cross-engine migration, or CSR freezing) and reload them.
+#ifndef SRC_GEN_SNAPSHOT_H_
+#define SRC_GEN_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/gen/csr.h"
+#include "src/gen/edge_io.h"
+#include "src/util/graph_types.h"
+
+namespace lsg {
+
+// Extracts the full edge list of any engine, sorted by (src, dst).
+template <typename G>
+std::vector<Edge> DumpEdges(const G& g) {
+  std::vector<Edge> edges;
+  edges.reserve(g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    g.map_neighbors(v, [&edges, v](VertexId u) {
+      edges.push_back(Edge{v, u});
+    });
+  }
+  return edges;
+}
+
+// Freezes a streaming engine into a static CSR snapshot (for read-only
+// analytics phases or archival).
+template <typename G>
+Csr FreezeToCsr(const G& g) {
+  return Csr::FromEdges(g.num_vertices(), DumpEdges(g));
+}
+
+// Persists any engine's current snapshot to the packed binary edge format.
+template <typename G>
+void SaveSnapshot(const G& g, const std::string& path) {
+  WriteEdgesBinary(path, DumpEdges(g));
+}
+
+// Loads a snapshot into a freshly-built engine of type G (must expose a
+// (VertexId) constructor and BuildFromEdges). Engines are intentionally
+// non-movable, hence the unique_ptr.
+template <typename G>
+std::unique_ptr<G> LoadSnapshot(const std::string& path,
+                                VertexId num_vertices) {
+  auto g = std::make_unique<G>(num_vertices);
+  g->BuildFromEdges(ReadEdgesBinary(path));
+  return g;
+}
+
+}  // namespace lsg
+
+#endif  // SRC_GEN_SNAPSHOT_H_

@@ -1,0 +1,93 @@
+#include "src/parallel/thread_pool.h"
+
+#include <algorithm>
+
+namespace lsg {
+
+ThreadPool::ThreadPool(size_t num_threads)
+    : num_threads_(num_threads != 0
+                       ? num_threads
+                       : std::max<size_t>(1, std::thread::hardware_concurrency())) {
+  // The calling thread is worker 0; spawn the rest.
+  for (size_t t = 1; t < num_threads_; ++t) {
+    workers_.emplace_back([this, t] { WorkerLoop(t); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  job_ready_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+void ThreadPool::RunJob(size_t begin, size_t end, size_t grain,
+                        const std::function<void(size_t, size_t, size_t)>& body) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_body_ = &body;
+    job_end_ = end;
+    job_grain_ = grain;
+    next_index_.store(begin, std::memory_order_relaxed);
+    workers_active_.store(num_threads_ - 1, std::memory_order_relaxed);
+    ++job_generation_;
+  }
+  job_ready_.notify_all();
+
+  // The calling thread participates as worker 0.
+  ExecuteChunks(0);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  job_done_.wait(lock, [this] {
+    return workers_active_.load(std::memory_order_acquire) == 0;
+  });
+  job_body_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(size_t tid) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      job_ready_.wait(lock, [this, seen_generation] {
+        return shutting_down_ || job_generation_ != seen_generation;
+      });
+      if (shutting_down_) {
+        return;
+      }
+      seen_generation = job_generation_;
+    }
+    ExecuteChunks(tid);
+    if (workers_active_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last worker out signals the caller. Take the lock so the notify
+      // cannot race with the caller entering its wait.
+      std::lock_guard<std::mutex> lock(mu_);
+      job_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::ExecuteChunks(size_t tid) {
+  const auto* body = job_body_;
+  size_t end = job_end_;
+  size_t grain = job_grain_;
+  for (;;) {
+    size_t lo = next_index_.fetch_add(grain, std::memory_order_relaxed);
+    if (lo >= end) {
+      return;
+    }
+    size_t hi = std::min(end, lo + grain);
+    (*body)(lo, hi, tid);
+  }
+}
+
+}  // namespace lsg

@@ -1,0 +1,100 @@
+// Minimal fork-join runtime.
+//
+// The paper parallelizes LSGraph with Cilk; this repo substitutes a
+// persistent thread pool with dynamic chunk self-scheduling. Engines never
+// spawn threads themselves — they take a ThreadPool& so benchmarks can sweep
+// thread counts (Fig. 17) without re-building graphs.
+#ifndef SRC_PARALLEL_THREAD_POOL_H_
+#define SRC_PARALLEL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lsg {
+
+class ThreadPool {
+ public:
+  // Creates `num_threads` total workers (including the calling thread, which
+  // participates in every ParallelFor). num_threads == 0 means hardware
+  // concurrency.
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return num_threads_; }
+
+  // Process-wide default pool sized to hardware concurrency.
+  static ThreadPool& Global();
+
+  // Runs f(i) for every i in [begin, end). Blocks until all iterations
+  // complete. `grain` is the self-scheduling chunk size (0 = auto).
+  template <typename F>
+  void ParallelFor(size_t begin, size_t end, F&& f, size_t grain = 0) {
+    ParallelForChunked(
+        begin, end,
+        [&f](size_t lo, size_t hi, size_t /*tid*/) {
+          for (size_t i = lo; i < hi; ++i) {
+            f(i);
+          }
+        },
+        grain);
+  }
+
+  // Runs f(chunk_begin, chunk_end, thread_id) over a partition of
+  // [begin, end). thread_id is in [0, num_threads()).
+  template <typename F>
+  void ParallelForChunked(size_t begin, size_t end, F&& f, size_t grain = 0) {
+    if (begin >= end) {
+      return;
+    }
+    size_t n = end - begin;
+    if (num_threads_ == 1 || n == 1) {
+      f(begin, end, 0);
+      return;
+    }
+    if (grain == 0) {
+      grain = std::max<size_t>(1, n / (num_threads_ * 8));
+    }
+    std::function<void(size_t, size_t, size_t)> body = f;
+    RunJob(begin, end, grain, body);
+  }
+
+ private:
+  void RunJob(size_t begin, size_t end, size_t grain,
+              const std::function<void(size_t, size_t, size_t)>& body);
+  void WorkerLoop(size_t tid);
+  void ExecuteChunks(size_t tid);
+
+  const size_t num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable job_ready_;
+  std::condition_variable job_done_;
+  uint64_t job_generation_ = 0;
+  bool shutting_down_ = false;
+
+  // Current job state (valid while workers_active_ > 0).
+  const std::function<void(size_t, size_t, size_t)>* job_body_ = nullptr;
+  size_t job_end_ = 0;
+  size_t job_grain_ = 1;
+  std::atomic<size_t> next_index_{0};
+  std::atomic<size_t> workers_active_{0};
+};
+
+// Convenience wrappers over the global pool.
+template <typename F>
+void ParallelFor(size_t begin, size_t end, F&& f, size_t grain = 0) {
+  ThreadPool::Global().ParallelFor(begin, end, std::forward<F>(f), grain);
+}
+
+}  // namespace lsg
+
+#endif  // SRC_PARALLEL_THREAD_POOL_H_

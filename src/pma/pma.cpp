@@ -1,0 +1,271 @@
+#include "src/pma/pma.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "src/util/timer.h"
+
+namespace lsg {
+
+namespace {
+
+size_t NextPow2(size_t x) { return std::bit_ceil(x); }
+
+}  // namespace
+
+Pma::Pma(PmaOptions options) : options_(options) {
+  size_t cap = NextPow2(std::max<size_t>(options_.initial_capacity, 8));
+  options_.initial_capacity = cap;
+  slots_.assign(cap, kEmpty);
+  RecomputeGeometry();
+}
+
+void Pma::RecomputeGeometry() {
+  size_t cap = slots_.size();
+  // Segment size Θ(log N), rounded to a power of two so windows nest.
+  size_t log = static_cast<size_t>(std::bit_width(cap));
+  segment_size_ = std::min(cap, NextPow2(std::max<size_t>(log, 4)));
+}
+
+int Pma::tree_height() const {
+  return static_cast<int>(std::bit_width(num_segments()) - 1);
+}
+
+double Pma::UpperDensity(int depth) const {
+  int h = tree_height();
+  if (h == 0) {
+    return options_.leaf_upper;
+  }
+  double t = static_cast<double>(depth) / h;
+  return options_.leaf_upper + (options_.root_upper - options_.leaf_upper) * t;
+}
+
+double Pma::LowerDensity(int depth) const {
+  int h = tree_height();
+  if (h == 0) {
+    return options_.leaf_lower;
+  }
+  double t = static_cast<double>(depth) / h;
+  return options_.leaf_lower + (options_.root_lower - options_.leaf_lower) * t;
+}
+
+size_t Pma::LowerBound(uint64_t key) const {
+  // Binary search over a gapped array: an empty probe is resolved by
+  // scanning left to the nearest occupied slot. This is exactly the
+  // dependent-probe, poor-spatial-locality search pattern of paper §2.3.
+  auto& stats = const_cast<PmaStats&>(stats_);
+  size_t lo = 0;
+  size_t hi = slots_.size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    size_t m = mid;
+    ++stats.search_probes;
+    while (m > lo && slots_[m] == kEmpty) {
+      --m;
+      ++stats.search_probes;
+    }
+    if (slots_[m] == kEmpty) {
+      lo = mid + 1;  // [lo, mid] entirely empty
+    } else if (slots_[m] < key) {
+      lo = mid + 1;
+    } else {
+      hi = m;
+    }
+  }
+  return lo;
+}
+
+bool Pma::Contains(uint64_t key) const {
+  size_t i = LowerBound(key);
+  while (i < slots_.size() && slots_[i] == kEmpty) {
+    ++i;
+  }
+  return i < slots_.size() && slots_[i] == key;
+}
+
+size_t Pma::CountRange(uint64_t lo, uint64_t hi) const {
+  size_t count = 0;
+  MapRange(lo, hi, [&count](uint64_t) { ++count; });
+  return count;
+}
+
+size_t Pma::CountOccupied(size_t begin, size_t end) const {
+  size_t count = 0;
+  for (size_t i = begin; i < end; ++i) {
+    count += slots_[i] != kEmpty;
+  }
+  return count;
+}
+
+void Pma::InsertIntoSegment(size_t seg_begin, size_t pos, uint64_t key) {
+  // Gather, insert in order, rewrite left-packed. Keys never leave their
+  // segment, so global order across segments is preserved.
+  size_t seg_end = seg_begin + segment_size_;
+  uint64_t buf[128];
+  size_t n = 0;
+  for (size_t i = seg_begin; i < seg_end; ++i) {
+    if (slots_[i] != kEmpty) {
+      buf[n++] = slots_[i];
+    }
+  }
+  uint64_t* ins = std::lower_bound(buf, buf + n, key);
+  std::copy_backward(ins, buf + n, buf + n + 1);
+  *ins = key;
+  ++n;
+  assert(n <= segment_size_);
+  for (size_t i = 0; i < n; ++i) {
+    slots_[seg_begin + i] = buf[i];
+  }
+  for (size_t i = seg_begin + n; i < seg_end; ++i) {
+    slots_[i] = kEmpty;
+  }
+  stats_.elements_moved += n;
+}
+
+void Pma::Redistribute(size_t begin, size_t end, uint64_t extra) {
+  std::vector<uint64_t> buf;
+  buf.reserve(end - begin + 1);
+  for (size_t i = begin; i < end; ++i) {
+    if (slots_[i] != kEmpty) {
+      buf.push_back(slots_[i]);
+    }
+  }
+  if (extra != kEmpty) {
+    buf.insert(std::lower_bound(buf.begin(), buf.end(), extra), extra);
+  }
+  size_t range = end - begin;
+  size_t m = buf.size();
+  assert(m <= range);
+  std::fill(slots_.begin() + begin, slots_.begin() + end, kEmpty);
+  for (size_t i = 0; i < m; ++i) {
+    slots_[begin + i * range / m] = buf[i];
+  }
+  stats_.elements_moved += m;
+  ++stats_.rebalances;
+}
+
+void Pma::Grow() {
+  slots_.resize(slots_.size() * 2, kEmpty);
+  RecomputeGeometry();
+  ++stats_.resizes;
+}
+
+void Pma::Shrink() {
+  size_t newcap = slots_.size() / 2;
+  if (newcap < options_.initial_capacity) {
+    return;
+  }
+  std::vector<uint64_t> buf;
+  buf.reserve(size_);
+  for (uint64_t k : slots_) {
+    if (k != kEmpty) {
+      buf.push_back(k);
+    }
+  }
+  assert(buf.size() <= newcap);
+  slots_.assign(newcap, kEmpty);
+  RecomputeGeometry();
+  size_t m = buf.size();
+  for (size_t i = 0; i < m; ++i) {
+    slots_[i * newcap / m] = buf[i];
+  }
+  stats_.elements_moved += m;
+  ++stats_.resizes;
+}
+
+bool Pma::Insert(uint64_t key) {
+  assert(key != kEmpty);
+  Timer timer;
+  size_t pos = LowerBound(key);
+  size_t probe = pos;
+  while (probe < slots_.size() && slots_[probe] == kEmpty) {
+    ++probe;
+  }
+  if (options_.timing) {
+    stats_.search_seconds += timer.Seconds();
+    timer.Reset();
+  }
+  if (probe < slots_.size() && slots_[probe] == key) {
+    return false;
+  }
+
+  size_t wbegin = pos / segment_size_ * segment_size_;
+  if (wbegin == slots_.size()) {
+    wbegin -= segment_size_;  // insert-at-end lands in the last segment
+  }
+  size_t wsize = segment_size_;
+  int depth = 0;
+  for (;;) {
+    size_t occ = CountOccupied(wbegin, wbegin + wsize);
+    if (static_cast<double>(occ + 1) <= UpperDensity(depth) * wsize) {
+      if (depth == 0) {
+        InsertIntoSegment(wbegin, pos, key);
+      } else {
+        Redistribute(wbegin, wbegin + wsize, key);
+      }
+      break;
+    }
+    if (wsize == slots_.size()) {
+      Grow();
+      Redistribute(0, slots_.size(), key);
+      break;
+    }
+    ++depth;
+    wsize *= 2;
+    wbegin = wbegin / wsize * wsize;
+  }
+  ++size_;
+  ++stats_.inserts;
+  if (options_.timing) {
+    stats_.move_seconds += timer.Seconds();
+  }
+  return true;
+}
+
+bool Pma::Delete(uint64_t key) {
+  Timer timer;
+  size_t pos = LowerBound(key);
+  while (pos < slots_.size() && slots_[pos] == kEmpty) {
+    ++pos;
+  }
+  if (options_.timing) {
+    stats_.search_seconds += timer.Seconds();
+    timer.Reset();
+  }
+  if (pos == slots_.size() || slots_[pos] != key) {
+    return false;
+  }
+  slots_[pos] = kEmpty;
+  --size_;
+  ++stats_.deletes;
+
+  size_t wbegin = pos / segment_size_ * segment_size_;
+  size_t wsize = segment_size_;
+  int depth = 0;
+  for (;;) {
+    size_t occ = CountOccupied(wbegin, wbegin + wsize);
+    if (static_cast<double>(occ) >= LowerDensity(depth) * wsize) {
+      if (depth > 0) {
+        Redistribute(wbegin, wbegin + wsize, kEmpty);
+      }
+      break;
+    }
+    if (wsize == slots_.size()) {
+      if (slots_.size() > options_.initial_capacity &&
+          size_ * 2 <= slots_.size()) {
+        Shrink();
+      }
+      break;
+    }
+    ++depth;
+    wsize *= 2;
+    wbegin = wbegin / wsize * wsize;
+  }
+  if (options_.timing) {
+    stats_.move_seconds += timer.Seconds();
+  }
+  return true;
+}
+
+}  // namespace lsg

@@ -1,0 +1,151 @@
+// Packed Memory Array: an ordered gapped array with an implicit binary tree
+// of density bounds (paper §2.2, Bender & Hu).
+//
+// This is the substrate that Terrace stores medium-degree edges in, the
+// structure LSGraph's RIA is designed to replace, and the subject of the
+// Fig. 4 breakdown (search time vs data-movement time). Keys are arbitrary
+// uint64_t; the Terrace baseline packs (src << 32 | dst) so all edges live in
+// one globally-sorted array, faithfully reproducing its long-distance data
+// movement.
+//
+// Not thread-safe: callers serialize writers (Terrace's scaling collapse in
+// Fig. 17 is modeled by its writers contending on one PMA lock).
+#ifndef SRC_PMA_PMA_H_
+#define SRC_PMA_PMA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lsg {
+
+struct PmaStats {
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+  uint64_t elements_moved = 0;    // slots written during shifts/rebalances
+  uint64_t rebalances = 0;
+  uint64_t resizes = 0;
+  uint64_t search_probes = 0;     // slot inspections during binary search
+  double search_seconds = 0.0;
+  double move_seconds = 0.0;
+
+  void Clear() { *this = PmaStats{}; }
+};
+
+struct PmaOptions {
+  // Density bounds at the leaves; interpolated toward (root_lower,
+  // root_upper) at the root, per the classic PMA analysis. Terrace's
+  // configuration in the paper corresponds to low densities (0.125, 0.25).
+  double leaf_lower = 0.10;
+  double leaf_upper = 0.90;
+  double root_lower = 0.25;
+  double root_upper = 0.75;
+  size_t initial_capacity = 64;
+  // When true, Insert/Delete time their search and movement phases
+  // separately (Fig. 4b); costs one steady_clock read pair per phase.
+  bool timing = false;
+};
+
+class Pma {
+ public:
+  static constexpr uint64_t kEmpty = ~uint64_t{0};
+
+  explicit Pma(PmaOptions options = {});
+
+  // Inserts key; returns false if already present. key must not be kEmpty.
+  bool Insert(uint64_t key);
+
+  // Removes key; returns false if absent.
+  bool Delete(uint64_t key);
+
+  bool Contains(uint64_t key) const;
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return slots_.size(); }
+  bool empty() const { return size_ == 0; }
+
+  // Applies f(key) to every key in [lo, hi) in ascending order.
+  template <typename F>
+  void MapRange(uint64_t lo, uint64_t hi, F&& f) const {
+    size_t i = LowerBound(lo);
+    for (; i < slots_.size(); ++i) {
+      uint64_t k = slots_[i];
+      if (k == kEmpty) {
+        continue;
+      }
+      if (k >= hi) {
+        return;
+      }
+      f(k);
+    }
+  }
+
+  // Applies f(key) to every key in ascending order.
+  template <typename F>
+  void MapAll(F&& f) const {
+    for (uint64_t k : slots_) {
+      if (k != kEmpty) {
+        f(k);
+      }
+    }
+  }
+
+  // Applies f(key) to every occupied slot in slot-index range [lo, hi).
+  // Used with an external offset array for O(1) range location.
+  template <typename F>
+  void MapSlots(size_t lo, size_t hi, F&& f) const {
+    for (size_t i = lo; i < hi; ++i) {
+      if (slots_[i] != kEmpty) {
+        f(slots_[i]);
+      }
+    }
+  }
+
+  // Raw slot access for offset-array construction (kEmpty = gap).
+  uint64_t SlotAt(size_t i) const { return slots_[i]; }
+
+  // Number of keys in [lo, hi).
+  size_t CountRange(uint64_t lo, uint64_t hi) const;
+
+  const PmaStats& stats() const { return stats_; }
+  PmaStats& mutable_stats() { return stats_; }
+
+  size_t memory_footprint() const { return slots_.capacity() * sizeof(uint64_t); }
+
+  // Index of the first slot whose key is >= key (empty slots skipped
+  // logically). Exposed for tests.
+  size_t LowerBound(uint64_t key) const;
+
+ private:
+  size_t segment_size() const { return segment_size_; }
+  size_t num_segments() const { return slots_.size() / segment_size_; }
+  int tree_height() const;
+
+  // Density bounds for a window `depth` levels above the leaves.
+  double UpperDensity(int depth) const;
+  double LowerDensity(int depth) const;
+
+  size_t CountOccupied(size_t begin, size_t end) const;
+
+  // Evenly redistributes the occupied keys of [begin, end), optionally
+  // inserting `extra` at its sorted position (extra == kEmpty means none).
+  void Redistribute(size_t begin, size_t end, uint64_t extra);
+
+  void Grow();
+  void Shrink();
+  void RecomputeGeometry();
+
+  // Inserts key into leaf segment [seg_begin, seg_begin + segment_size_)
+  // by shifting within the segment. Requires a free slot in the segment.
+  void InsertIntoSegment(size_t seg_begin, size_t pos, uint64_t key);
+
+  std::vector<uint64_t> slots_;
+  size_t size_ = 0;
+  size_t segment_size_ = 8;
+  PmaOptions options_;
+  PmaStats stats_;
+};
+
+}  // namespace lsg
+
+#endif  // SRC_PMA_PMA_H_

@@ -1,0 +1,251 @@
+#include "src/skiplist/block_skip_list.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "src/util/cache.h"
+#include "src/util/prng.h"
+
+namespace lsg {
+
+BlockSkipList::BlockSkipList() : rng_state_(0x5eed5eedULL) {
+  head_ = NewNode(kMaxLevel);  // sentinel: count 0, full-height tower
+}
+
+BlockSkipList::~BlockSkipList() {
+  Node* n = head_;
+  while (n != nullptr) {
+    Node* next = n->next[0];
+    AlignedFree(n);
+    n = next;
+  }
+}
+
+BlockSkipList::BlockSkipList(BlockSkipList&& o) noexcept
+    : head_(o.head_), size_(o.size_), rng_state_(o.rng_state_) {
+  o.head_ = nullptr;
+  o.size_ = 0;
+}
+
+BlockSkipList& BlockSkipList::operator=(BlockSkipList&& o) noexcept {
+  if (this != &o) {
+    this->~BlockSkipList();
+    head_ = o.head_;
+    size_ = o.size_;
+    rng_state_ = o.rng_state_;
+    o.head_ = nullptr;
+    o.size_ = 0;
+  }
+  return *this;
+}
+
+BlockSkipList::Node* BlockSkipList::NewNode(int level) {
+  Node* n = static_cast<Node*>(AlignedAlloc(sizeof(Node)));
+  n->count = 0;
+  n->level = static_cast<uint8_t>(level);
+  std::memset(n->next, 0, sizeof(n->next));
+  return n;
+}
+
+int BlockSkipList::RandomLevel() {
+  SplitMix64 rng(rng_state_);
+  rng_state_ = rng.Next();
+  uint64_t r = rng_state_;
+  int level = 1;
+  while (level < kMaxLevel && (r & 3) == 0) {
+    ++level;
+    r >>= 2;
+  }
+  return level;
+}
+
+BlockSkipList::Node* BlockSkipList::FindNode(VertexId key,
+                                             Node** preds) const {
+  Node* cur = head_;
+  for (int l = kMaxLevel - 1; l >= 0; --l) {
+    while (cur->next[l] != nullptr && cur->next[l]->keys[0] <= key) {
+      cur = cur->next[l];
+    }
+    if (preds != nullptr) {
+      preds[l] = cur;
+    }
+  }
+  return cur == head_ ? head_->next[0] : cur;
+}
+
+bool BlockSkipList::Contains(VertexId key) const {
+  if (head_ == nullptr) {
+    return false;
+  }
+  const Node* n = FindNode(key, nullptr);
+  if (n == nullptr) {
+    return false;
+  }
+  const VertexId* end = n->keys + n->count;
+  return std::binary_search(n->keys, end, key);
+}
+
+VertexId BlockSkipList::First() const {
+  assert(head_->next[0] != nullptr);
+  return head_->next[0]->keys[0];
+}
+
+bool BlockSkipList::Insert(VertexId key) {
+  Node* preds[kMaxLevel];
+  Node* target = FindNode(key, preds);
+  if (target == nullptr) {
+    // Empty list: first data node.
+    Node* node = NewNode(RandomLevel());
+    node->keys[0] = key;
+    node->count = 1;
+    for (int l = 0; l < node->level; ++l) {
+      node->next[l] = nullptr;
+      head_->next[l] = node;
+    }
+    ++size_;
+    return true;
+  }
+  VertexId* end = target->keys + target->count;
+  VertexId* it = std::lower_bound(target->keys, end, key);
+  if (it != end && *it == key) {
+    return false;
+  }
+  if (target->count == kBlockCap) {
+    // Split: upper half moves to a fresh node linked right after target.
+    Node* right = NewNode(RandomLevel());
+    constexpr size_t kHalf = kBlockCap / 2;
+    std::copy(target->keys + kHalf, target->keys + kBlockCap, right->keys);
+    right->count = kBlockCap - kHalf;
+    target->count = kHalf;
+    for (int l = 0; l < right->level; ++l) {
+      Node* pred = l < target->level ? target : preds[l];
+      right->next[l] = pred->next[l];
+      pred->next[l] = right;
+    }
+    // Re-aim at the half that owns the key.
+    if (key >= right->keys[0]) {
+      target = right;
+    }
+    end = target->keys + target->count;
+    it = std::lower_bound(target->keys, end, key);
+  }
+  std::copy_backward(it, end, end + 1);
+  *it = key;
+  ++target->count;
+  ++size_;
+  return true;
+}
+
+bool BlockSkipList::Delete(VertexId key) {
+  Node* preds[kMaxLevel];
+  Node* target = FindNode(key, preds);
+  if (target == nullptr) {
+    return false;
+  }
+  VertexId* end = target->keys + target->count;
+  VertexId* it = std::lower_bound(target->keys, end, key);
+  if (it == end || *it != key) {
+    return false;
+  }
+  std::copy(it + 1, end, it);
+  --target->count;
+  --size_;
+  if (target->count == 0) {
+    // Unlink: preds may point at `target` itself when key == first key;
+    // recompute strict predecessors.
+    Node* cur = head_;
+    for (int l = kMaxLevel - 1; l >= 0; --l) {
+      while (cur->next[l] != nullptr && cur->next[l] != target &&
+             cur->next[l]->keys[0] < key) {
+        cur = cur->next[l];
+      }
+      if (l < target->level && cur->next[l] == target) {
+        cur->next[l] = target->next[l];
+      }
+    }
+    AlignedFree(target);
+  }
+  return true;
+}
+
+void BlockSkipList::BulkLoad(std::span<const VertexId> sorted_ids) {
+  // Reset to just the sentinel.
+  Node* n = head_->next[0];
+  while (n != nullptr) {
+    Node* next = n->next[0];
+    AlignedFree(n);
+    n = next;
+  }
+  std::memset(head_->next, 0, sizeof(head_->next));
+  size_ = sorted_ids.size();
+
+  // Fill blocks at ~3/4 capacity, threading tower links as we go.
+  constexpr size_t kFill = kBlockCap * 3 / 4;
+  Node* last_at_level[kMaxLevel];
+  for (int l = 0; l < kMaxLevel; ++l) {
+    last_at_level[l] = head_;
+  }
+  size_t i = 0;
+  while (i < sorted_ids.size()) {
+    size_t take = std::min(kFill, sorted_ids.size() - i);
+    Node* node = NewNode(RandomLevel());
+    std::copy(sorted_ids.begin() + i, sorted_ids.begin() + i + take,
+              node->keys);
+    node->count = static_cast<uint16_t>(take);
+    for (int l = 0; l < node->level; ++l) {
+      last_at_level[l]->next[l] = node;
+      last_at_level[l] = node;
+    }
+    i += take;
+  }
+}
+
+size_t BlockSkipList::memory_footprint() const {
+  size_t total = 0;
+  for (const Node* n = head_; n != nullptr; n = n->next[0]) {
+    total += sizeof(Node);
+  }
+  return total;
+}
+
+bool BlockSkipList::CheckInvariants() const {
+  // Level-0 chain strictly ascending, blocks non-empty, count == size_.
+  size_t count = 0;
+  VertexId prev = 0;
+  bool first = true;
+  for (const Node* n = head_->next[0]; n != nullptr; n = n->next[0]) {
+    if (n->count == 0 || n->count > kBlockCap) {
+      return false;
+    }
+    for (uint16_t i = 0; i < n->count; ++i) {
+      if (!first && n->keys[i] <= prev) {
+        return false;
+      }
+      prev = n->keys[i];
+      first = false;
+      ++count;
+    }
+  }
+  if (count != size_) {
+    return false;
+  }
+  // Every tower level must be a subsequence of level 0.
+  for (int l = 1; l < kMaxLevel; ++l) {
+    const Node* lower = head_->next[0];
+    for (const Node* n = head_->next[l]; n != nullptr; n = n->next[l]) {
+      if (n->level <= l) {
+        return false;
+      }
+      while (lower != nullptr && lower != n) {
+        lower = lower->next[0];
+      }
+      if (lower == nullptr) {
+        return false;  // level-l node missing from the base chain
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace lsg

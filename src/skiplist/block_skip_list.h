@@ -1,0 +1,84 @@
+// Unrolled (block-based) skip list over vertex ids.
+//
+// This is Sortledton's adjacency substrate (Fuchs et al., VLDB '22), which
+// the paper benchmarks against PaC-tree in §6.1 before excluding it from the
+// main evaluation. Nodes hold sorted blocks of ids; towers of forward
+// pointers give O(log n) search. Compared with LSGraph's RIA it pays pointer
+// chasing on search and block splits on insert — the "high data searching
+// and moving overhead" §7 ascribes to it.
+//
+// Not thread-safe; single writer per instance.
+#ifndef SRC_SKIPLIST_BLOCK_SKIP_LIST_H_
+#define SRC_SKIPLIST_BLOCK_SKIP_LIST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "src/util/graph_types.h"
+
+namespace lsg {
+
+class BlockSkipList {
+ public:
+  BlockSkipList();
+  ~BlockSkipList();
+
+  BlockSkipList(const BlockSkipList&) = delete;
+  BlockSkipList& operator=(const BlockSkipList&) = delete;
+  BlockSkipList(BlockSkipList&& o) noexcept;
+  BlockSkipList& operator=(BlockSkipList&& o) noexcept;
+
+  bool Insert(VertexId key);
+  bool Delete(VertexId key);
+  bool Contains(VertexId key) const;
+
+  // Replaces contents from sorted unique ids.
+  void BulkLoad(std::span<const VertexId> sorted_ids);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Smallest id; requires !empty().
+  VertexId First() const;
+
+  // Applies f(id) in ascending order (walks the level-0 chain).
+  template <typename F>
+  void Map(F&& f) const {
+    for (const Node* n = head_; n != nullptr; n = n->next[0]) {
+      for (uint16_t i = 0; i < n->count; ++i) {
+        f(n->keys[i]);
+      }
+    }
+  }
+
+  size_t memory_footprint() const;
+  bool CheckInvariants() const;
+
+ private:
+  static constexpr size_t kBlockCap = 128;
+  static constexpr int kMaxLevel = 8;
+
+  struct Node {
+    uint16_t count;
+    uint8_t level;  // tower height, 1..kMaxLevel
+    VertexId keys[kBlockCap];
+    Node* next[kMaxLevel];
+  };
+
+  static Node* NewNode(int level);
+  int RandomLevel();
+
+  // Finds the node that should contain `key` (the last node whose first key
+  // is <= key, or the head) and fills preds[l] = last node at level l whose
+  // first key is <= key.
+  Node* FindNode(VertexId key, Node** preds) const;
+
+  Node* head_ = nullptr;  // first node; its first key is the list minimum
+  size_t size_ = 0;
+  uint64_t rng_state_;
+};
+
+}  // namespace lsg
+
+#endif  // SRC_SKIPLIST_BLOCK_SKIP_LIST_H_

@@ -1,0 +1,95 @@
+// Bit-packed vectors.
+//
+// TypeVector packs the 2-bit LIA entry types (Unused/Edge/Block/Child) the
+// paper attaches to every slot of a learned indexed array. AtomicBitset is
+// the concurrent visited/frontier set used by the analytics kernels.
+#ifndef SRC_UTIL_BITVECTOR_H_
+#define SRC_UTIL_BITVECTOR_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lsg {
+
+// Entry types of a Learned Indexed Array (paper §3.2).
+enum class SlotType : uint8_t {
+  kUnused = 0,  // U: free slot
+  kEdge = 1,    // E: holds one destination id
+  kBlock = 2,   // B: part of a packed block rooted at the block start
+  kChild = 3,   // C: block holds a pointer to a child node
+};
+
+// Densely packed 2-bit type tags, one per array slot.
+class TypeVector {
+ public:
+  TypeVector() = default;
+  explicit TypeVector(size_t n) : words_((n * 2 + 63) / 64, 0), size_(n) {}
+
+  size_t size() const { return size_; }
+
+  SlotType Get(size_t i) const {
+    uint64_t w = words_[i / 32];
+    return static_cast<SlotType>((w >> ((i % 32) * 2)) & 0x3);
+  }
+
+  void Set(size_t i, SlotType t) {
+    uint64_t& w = words_[i / 32];
+    size_t shift = (i % 32) * 2;
+    w = (w & ~(uint64_t{0x3} << shift)) | (uint64_t(t) << shift);
+  }
+
+  // Sets [begin, end) to `t`.
+  void SetRange(size_t begin, size_t end, SlotType t) {
+    for (size_t i = begin; i < end; ++i) {
+      Set(i, t);
+    }
+  }
+
+  size_t MemoryBytes() const { return words_.capacity() * sizeof(uint64_t); }
+
+ private:
+  std::vector<uint64_t> words_;
+  size_t size_ = 0;
+};
+
+// Fixed-size bitset with atomic test-and-set, for parallel traversals.
+class AtomicBitset {
+ public:
+  AtomicBitset() = default;
+  explicit AtomicBitset(size_t n) : words_((n + 63) / 64), size_(n) {
+    Clear();
+  }
+
+  size_t size() const { return size_; }
+
+  void Clear() {
+    for (auto& w : words_) {
+      w.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  bool Get(size_t i) const {
+    return (words_[i / 64].load(std::memory_order_relaxed) >> (i % 64)) & 1;
+  }
+
+  void Set(size_t i) {
+    words_[i / 64].fetch_or(uint64_t{1} << (i % 64), std::memory_order_relaxed);
+  }
+
+  // Returns true iff this call flipped the bit from 0 to 1.
+  bool TestAndSet(size_t i) {
+    uint64_t mask = uint64_t{1} << (i % 64);
+    uint64_t prev = words_[i / 64].fetch_or(mask, std::memory_order_relaxed);
+    return (prev & mask) == 0;
+  }
+
+ private:
+  std::vector<std::atomic<uint64_t>> words_;
+  size_t size_ = 0;
+};
+
+}  // namespace lsg
+
+#endif  // SRC_UTIL_BITVECTOR_H_

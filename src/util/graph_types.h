@@ -1,0 +1,27 @@
+// Shared primitive graph types used by every engine, generator, and kernel.
+#ifndef SRC_UTIL_GRAPH_TYPES_H_
+#define SRC_UTIL_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <tuple>
+
+namespace lsg {
+
+using VertexId = uint32_t;
+using EdgeCount = uint64_t;
+
+inline constexpr VertexId kInvalidVertex = ~VertexId{0};
+
+struct Edge {
+  VertexId src;
+  VertexId dst;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge& a, const Edge& b) {
+    return std::tie(a.src, a.dst) <=> std::tie(b.src, b.dst);
+  }
+};
+
+}  // namespace lsg
+
+#endif  // SRC_UTIL_GRAPH_TYPES_H_

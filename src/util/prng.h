@@ -1,0 +1,45 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// Workload generators must be reproducible across runs and across thread
+// counts, so every generator seeds one of these per logical chunk of work.
+#ifndef SRC_UTIL_PRNG_H_
+#define SRC_UTIL_PRNG_H_
+
+#include <cstdint>
+
+namespace lsg {
+
+// splitmix64: tiny state, passes BigCrush when used to seed, and good enough
+// on its own for workload synthesis.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be nonzero.
+  uint64_t NextBounded(uint64_t bound) { return Next() % bound; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+ private:
+  uint64_t state_;
+};
+
+// Mixes a (seed, stream) pair into an independent-looking 64-bit seed, so
+// parallel chunks can derive uncorrelated generators.
+inline uint64_t MixSeed(uint64_t seed, uint64_t stream) {
+  SplitMix64 rng(seed ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+  rng.Next();
+  return rng.Next();
+}
+
+}  // namespace lsg
+
+#endif  // SRC_UTIL_PRNG_H_

@@ -1,0 +1,43 @@
+// Wall-clock timer used by benchmarks and by the engines' internal
+// instrumentation counters (e.g. the PMA search/move breakdown of Fig. 4).
+#ifndef SRC_UTIL_TIMER_H_
+#define SRC_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace lsg {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Accumulating stopwatch: sums disjoint timed intervals.
+class Stopwatch {
+ public:
+  void Start() { timer_.Reset(); }
+  void Stop() { total_ += timer_.Seconds(); }
+  double TotalSeconds() const { return total_; }
+  void Clear() { total_ = 0.0; }
+
+ private:
+  Timer timer_;
+  double total_ = 0.0;
+};
+
+}  // namespace lsg
+
+#endif  // SRC_UTIL_TIMER_H_

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/btree/btree_set.h"
+#include "src/util/prng.h"
+
+namespace lsg {
+namespace {
+
+std::vector<VertexId> Dump(const BTreeSet& t) {
+  std::vector<VertexId> out;
+  t.Map([&out](VertexId v) { out.push_back(v); });
+  return out;
+}
+
+TEST(BTreeTest, EmptyTree) {
+  BTreeSet t;
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.empty());
+  EXPECT_FALSE(t.Contains(1));
+  EXPECT_FALSE(t.Delete(1));
+  EXPECT_TRUE(Dump(t).empty());
+  EXPECT_TRUE(t.CheckInvariants());
+}
+
+TEST(BTreeTest, InsertContainsDuplicate) {
+  BTreeSet t;
+  EXPECT_TRUE(t.Insert(5));
+  EXPECT_FALSE(t.Insert(5));
+  EXPECT_TRUE(t.Contains(5));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(BTreeTest, AscendingInsertSplitsCorrectly) {
+  BTreeSet t;
+  for (VertexId k = 0; k < 10000; ++k) {
+    ASSERT_TRUE(t.Insert(k));
+  }
+  EXPECT_EQ(t.size(), 10000u);
+  EXPECT_TRUE(t.CheckInvariants());
+  std::vector<VertexId> dump = Dump(t);
+  for (VertexId k = 0; k < 10000; ++k) {
+    ASSERT_EQ(dump[k], k);
+  }
+}
+
+TEST(BTreeTest, DescendingInsert) {
+  BTreeSet t;
+  for (VertexId k = 5000; k-- > 0;) {
+    ASSERT_TRUE(t.Insert(k));
+  }
+  EXPECT_TRUE(t.CheckInvariants());
+  EXPECT_EQ(Dump(t).front(), 0u);
+  EXPECT_EQ(Dump(t).back(), 4999u);
+  EXPECT_EQ(t.First(), 0u);
+}
+
+TEST(BTreeTest, DeleteDownToEmpty) {
+  BTreeSet t;
+  for (VertexId k = 0; k < 1000; ++k) {
+    t.Insert(k * 3);
+  }
+  for (VertexId k = 0; k < 1000; ++k) {
+    ASSERT_TRUE(t.Delete(k * 3));
+    ASSERT_FALSE(t.Contains(k * 3));
+    ASSERT_TRUE(t.CheckInvariants()) << "after deleting " << k * 3;
+  }
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.Insert(7));  // still usable after emptying
+  EXPECT_EQ(t.First(), 7u);
+}
+
+TEST(BTreeTest, BulkLoadMatchesInsertion) {
+  std::vector<VertexId> keys;
+  for (VertexId k = 0; k < 3000; ++k) {
+    keys.push_back(k * 2 + 1);
+  }
+  BTreeSet t;
+  t.BulkLoad(keys);
+  EXPECT_EQ(t.size(), keys.size());
+  EXPECT_EQ(Dump(t), keys);
+  EXPECT_TRUE(t.CheckInvariants());
+}
+
+TEST(BTreeTest, MoveTransfersContents) {
+  BTreeSet a;
+  a.Insert(1);
+  a.Insert(2);
+  BTreeSet b = std::move(a);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_TRUE(b.Contains(1));
+}
+
+TEST(BTreeTest, MemoryFootprintGrowsWithContent) {
+  BTreeSet t;
+  size_t empty_bytes = t.memory_footprint();
+  for (VertexId k = 0; k < 10000; ++k) {
+    t.Insert(k);
+  }
+  EXPECT_GT(t.memory_footprint(), empty_bytes + 10000 * sizeof(VertexId) / 2);
+}
+
+class BTreeOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BTreeOracleTest, RandomizedAgainstStdSet) {
+  uint64_t key_space = GetParam();
+  BTreeSet t;
+  std::set<VertexId> oracle;
+  SplitMix64 rng(17);
+  for (int op = 0; op < 30000; ++op) {
+    VertexId key = static_cast<VertexId>(rng.NextBounded(key_space));
+    if (rng.NextDouble() < 0.6) {
+      ASSERT_EQ(t.Insert(key), oracle.insert(key).second);
+    } else {
+      ASSERT_EQ(t.Delete(key), oracle.erase(key) != 0);
+    }
+  }
+  EXPECT_EQ(t.size(), oracle.size());
+  EXPECT_EQ(Dump(t), std::vector<VertexId>(oracle.begin(), oracle.end()));
+  EXPECT_TRUE(t.CheckInvariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(KeySpaces, BTreeOracleTest,
+                         ::testing::Values(64, 1000, 100000, 4000000000ull));
+
+}  // namespace
+}  // namespace lsg

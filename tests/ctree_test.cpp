@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/ctree/compressed_chunk.h"
+#include "src/ctree/ctree.h"
+#include "src/util/prng.h"
+
+namespace lsg {
+namespace {
+
+TEST(CompressedChunkTest, EncodeDecodeRoundtrip) {
+  std::vector<VertexId> ids = {5, 6, 100, 1000, 1000000, 4000000000u};
+  CompressedChunk c = CompressedChunk::Encode(ids, 4);
+  EXPECT_EQ(c.count(), ids.size());
+  EXPECT_EQ(c.Decode(4), ids);
+}
+
+TEST(CompressedChunkTest, EmptyChunk) {
+  CompressedChunk c;
+  EXPECT_TRUE(c.empty());
+  EXPECT_TRUE(c.Decode(0).empty());
+  EXPECT_FALSE(c.Contains(0, 5));
+}
+
+TEST(CompressedChunkTest, ContainsFindsAllMembers) {
+  std::vector<VertexId> ids = {10, 11, 20, 35};
+  CompressedChunk c = CompressedChunk::Encode(ids, 9);
+  for (VertexId v : ids) {
+    EXPECT_TRUE(c.Contains(9, v));
+  }
+  EXPECT_FALSE(c.Contains(9, 12));
+  EXPECT_FALSE(c.Contains(9, 36));
+}
+
+TEST(CompressedChunkTest, DenseRunCompressesToOneBytePerId) {
+  std::vector<VertexId> ids;
+  for (VertexId v = 1000; v < 2000; ++v) {
+    ids.push_back(v);
+  }
+  CompressedChunk c = CompressedChunk::Encode(ids, 999);
+  EXPECT_EQ(c.byte_size(), 1000u);  // delta 1 -> one varint byte each
+}
+
+TEST(CompressedChunkTest, VarintBoundaries) {
+  for (uint32_t v : {0u, 127u, 128u, 16383u, 16384u, ~0u}) {
+    std::vector<uint8_t> bytes;
+    AppendVarint(bytes, v);
+    const uint8_t* p = bytes.data();
+    EXPECT_EQ(ReadVarint(p), v);
+    EXPECT_EQ(p, bytes.data() + bytes.size());
+  }
+}
+
+TEST(CTreeTest, InsertContainsDelete) {
+  CTree t(16);
+  EXPECT_TRUE(t.Insert(5));
+  EXPECT_FALSE(t.Insert(5));
+  EXPECT_TRUE(t.Contains(5));
+  EXPECT_FALSE(t.Contains(6));
+  EXPECT_TRUE(t.Delete(5));
+  EXPECT_FALSE(t.Delete(5));
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.CheckInvariants());
+}
+
+TEST(CTreeTest, BulkLoadMatchesMap) {
+  std::vector<VertexId> ids;
+  for (VertexId v = 0; v < 5000; ++v) {
+    ids.push_back(v * 2);
+  }
+  CTree t(16);
+  t.BulkLoad(ids);
+  EXPECT_EQ(t.size(), ids.size());
+  EXPECT_EQ(t.Decode(), ids);
+  EXPECT_TRUE(t.CheckInvariants());
+  for (VertexId v : {0u, 4998u, 9998u}) {
+    EXPECT_TRUE(t.Contains(v));
+  }
+  EXPECT_FALSE(t.Contains(1));
+}
+
+TEST(CTreeTest, IdZeroLivesInPrefix) {
+  CTree t(16);
+  EXPECT_TRUE(t.Insert(0));
+  EXPECT_TRUE(t.Contains(0));
+  EXPECT_EQ(t.Decode(), (std::vector<VertexId>{0}));
+  EXPECT_TRUE(t.Delete(0));
+  EXPECT_FALSE(t.Contains(0));
+}
+
+TEST(CTreeTest, CopiesShareStructureAndDivergeOnUpdate) {
+  CTree a(16);
+  for (VertexId v = 0; v < 1000; ++v) {
+    a.Insert(v * 3);
+  }
+  CTree b = a;  // functional snapshot
+  EXPECT_TRUE(b.Insert(1));
+  EXPECT_TRUE(b.Contains(1));
+  EXPECT_FALSE(a.Contains(1));  // the original version is untouched
+  EXPECT_TRUE(a.Delete(0));
+  EXPECT_TRUE(b.Contains(0));
+  EXPECT_TRUE(a.CheckInvariants());
+  EXPECT_TRUE(b.CheckInvariants());
+}
+
+TEST(CTreeTest, HeadDeletionFoldsTailIntoPredecessor) {
+  CTree t(4);  // small chunks -> many heads
+  std::vector<VertexId> ids;
+  for (VertexId v = 0; v < 400; ++v) {
+    ids.push_back(v);
+  }
+  CTree loaded(4);
+  loaded.BulkLoad(ids);
+  // Delete every third id, including heads; membership must stay exact.
+  std::set<VertexId> oracle(ids.begin(), ids.end());
+  for (VertexId v = 0; v < 400; v += 3) {
+    ASSERT_EQ(loaded.Delete(v), oracle.erase(v) != 0);
+    ASSERT_TRUE(loaded.CheckInvariants()) << "after deleting " << v;
+  }
+  EXPECT_EQ(loaded.Decode(),
+            std::vector<VertexId>(oracle.begin(), oracle.end()));
+}
+
+TEST(CTreeTest, MemoryFootprintBenefitsFromDenseIds) {
+  // Dense ids delta-compress to ~1 byte; random ids need several.
+  CTree dense(64);
+  CTree sparse(64);
+  std::vector<VertexId> dense_ids;
+  std::vector<VertexId> sparse_ids;
+  SplitMix64 rng(5);
+  std::set<VertexId> chosen;
+  for (VertexId v = 0; v < 10000; ++v) {
+    dense_ids.push_back(v);
+    chosen.insert(static_cast<VertexId>(rng.Next() >> 2));
+  }
+  sparse_ids.assign(chosen.begin(), chosen.end());
+  dense.BulkLoad(dense_ids);
+  sparse.BulkLoad(sparse_ids);
+  EXPECT_LT(dense.memory_footprint(), sparse.memory_footprint());
+}
+
+struct CTreeParam {
+  uint32_t chunk;
+  uint64_t key_space;
+};
+
+class CTreeOracleTest
+    : public ::testing::TestWithParam<CTreeParam> {};
+
+TEST_P(CTreeOracleTest, RandomizedAgainstStdSet) {
+  const CTreeParam& param = GetParam();
+  CTree t(param.chunk);
+  std::set<VertexId> oracle;
+  SplitMix64 rng(23);
+  for (int op = 0; op < 15000; ++op) {
+    VertexId key = static_cast<VertexId>(rng.NextBounded(param.key_space));
+    if (rng.NextDouble() < 0.6) {
+      ASSERT_EQ(t.Insert(key), oracle.insert(key).second) << "key " << key;
+    } else {
+      ASSERT_EQ(t.Delete(key), oracle.erase(key) != 0) << "key " << key;
+    }
+    ASSERT_EQ(t.size(), oracle.size());
+  }
+  EXPECT_EQ(t.Decode(), std::vector<VertexId>(oracle.begin(), oracle.end()));
+  EXPECT_TRUE(t.CheckInvariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ChunksAndKeySpaces, CTreeOracleTest,
+    ::testing::Values(CTreeParam{4, 500}, CTreeParam{16, 500},
+                      CTreeParam{16, 100000}, CTreeParam{64, 100000},
+                      CTreeParam{64, 4000000000ull}));
+
+}  // namespace
+}  // namespace lsg

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "src/core/edgemap.h"
+#include "src/core/lsgraph.h"
+
+namespace lsg {
+namespace {
+
+TEST(VertexSubsetTest, SingleAndAll) {
+  VertexSubset s = VertexSubset::Single(10, 3);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.vertices().front(), 3u);
+  EXPECT_EQ(s.universe(), 10u);
+  VertexSubset all = VertexSubset::All(5);
+  EXPECT_EQ(all.size(), 5u);
+  EXPECT_EQ(all.vertices().back(), 4u);
+}
+
+TEST(EdgeMapTest, VisitsEveryEdgeFromFrontier) {
+  ThreadPool pool(3);
+  LSGraph g(6);
+  g.InsertEdge(0, 1);
+  g.InsertEdge(0, 2);
+  g.InsertEdge(1, 3);
+  g.InsertEdge(4, 5);
+  VertexSubset frontier(6);
+  frontier.mutable_vertices() = {0, 1};
+  std::atomic<int> visited{0};
+  VertexSubset next = EdgeMap(
+      g, frontier,
+      [&visited](VertexId, VertexId) {
+        visited.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      },
+      [](VertexId) { return true; }, pool);
+  EXPECT_EQ(visited.load(), 3);  // edges (0,1),(0,2),(1,3); (4,5) untouched
+  EXPECT_EQ(next.size(), 3u);
+}
+
+TEST(EdgeMapTest, CondFiltersTargets) {
+  ThreadPool pool(2);
+  LSGraph g(4);
+  g.InsertEdge(0, 1);
+  g.InsertEdge(0, 2);
+  g.InsertEdge(0, 3);
+  VertexSubset frontier = VertexSubset::Single(4, 0);
+  VertexSubset next = EdgeMap(
+      g, frontier, [](VertexId, VertexId) { return true; },
+      [](VertexId v) { return v % 2 == 1; }, pool);
+  std::vector<VertexId> got = next.vertices();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<VertexId>{1, 3}));
+}
+
+TEST(EdgeMapTest, UpdateReturningFalseKeepsVertexOut) {
+  ThreadPool pool(2);
+  LSGraph g(3);
+  g.InsertEdge(0, 1);
+  VertexSubset frontier = VertexSubset::Single(3, 0);
+  VertexSubset next = EdgeMap(
+      g, frontier, [](VertexId, VertexId) { return false; },
+      [](VertexId) { return true; }, pool);
+  EXPECT_TRUE(next.empty());
+}
+
+TEST(EdgeMapTest, EmptyFrontierShortCircuits) {
+  ThreadPool pool(2);
+  LSGraph g(3);
+  g.InsertEdge(0, 1);
+  VertexSubset frontier(3);
+  VertexSubset next = EdgeMap(
+      g, frontier, [](VertexId, VertexId) { return true; },
+      [](VertexId) { return true; }, pool);
+  EXPECT_TRUE(next.empty());
+}
+
+TEST(VertexMapTest, KeepsOnlyMatching) {
+  ThreadPool pool(2);
+  VertexSubset frontier = VertexSubset::All(10);
+  VertexSubset evens = VertexMap(
+      frontier, [](VertexId v) { return v % 2 == 0; }, pool);
+  std::vector<VertexId> got = evens.vertices();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<VertexId>{0, 2, 4, 6, 8}));
+}
+
+}  // namespace
+}  // namespace lsg

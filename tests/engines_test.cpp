@@ -1,0 +1,251 @@
+// Typed tests run against all four engines: LSGraph and the three baselines
+// must expose identical graph semantics, which the analytics layer and the
+// benchmark harness both rely on.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/baselines/ctree_graph.h"
+#include "src/baselines/terrace_graph.h"
+#include "src/core/lsgraph.h"
+#include "src/gen/rmat.h"
+#include "src/util/prng.h"
+#include "tests/reference.h"
+
+namespace lsg {
+namespace {
+
+template <typename E>
+std::unique_ptr<E> MakeEngine(VertexId n);
+
+template <>
+std::unique_ptr<LSGraph> MakeEngine(VertexId n) {
+  return std::make_unique<LSGraph>(n);
+}
+template <>
+std::unique_ptr<TerraceGraph> MakeEngine(VertexId n) {
+  return std::make_unique<TerraceGraph>(n);
+}
+template <>
+std::unique_ptr<AspenGraph> MakeEngine(VertexId n) {
+  return std::make_unique<AspenGraph>(n);
+}
+template <>
+std::unique_ptr<PacTreeGraph> MakeEngine(VertexId n) {
+  return std::make_unique<PacTreeGraph>(n);
+}
+
+template <typename E>
+std::vector<VertexId> Neighbors(const E& g, VertexId v) {
+  std::vector<VertexId> out;
+  g.map_neighbors(v, [&out](VertexId u) { out.push_back(u); });
+  return out;
+}
+
+template <typename E>
+class EngineTest : public ::testing::Test {};
+
+using EngineTypes =
+    ::testing::Types<LSGraph, TerraceGraph, AspenGraph, PacTreeGraph>;
+TYPED_TEST_SUITE(EngineTest, EngineTypes);
+
+TYPED_TEST(EngineTest, EmptyGraph) {
+  auto g = MakeEngine<TypeParam>(10);
+  EXPECT_EQ(g->num_vertices(), 10u);
+  EXPECT_EQ(g->num_edges(), 0u);
+  for (VertexId v = 0; v < 10; ++v) {
+    EXPECT_EQ(g->degree(v), 0u);
+    EXPECT_TRUE(Neighbors(*g, v).empty());
+  }
+  EXPECT_TRUE(g->CheckInvariants());
+}
+
+TYPED_TEST(EngineTest, SingleEdgeInsertDelete) {
+  auto g = MakeEngine<TypeParam>(4);
+  EXPECT_TRUE(g->InsertEdge(1, 2));
+  EXPECT_FALSE(g->InsertEdge(1, 2));
+  EXPECT_TRUE(g->HasEdge(1, 2));
+  EXPECT_FALSE(g->HasEdge(2, 1));  // directed storage
+  EXPECT_EQ(g->degree(1), 1u);
+  EXPECT_EQ(g->num_edges(), 1u);
+  EXPECT_TRUE(g->DeleteEdge(1, 2));
+  EXPECT_FALSE(g->DeleteEdge(1, 2));
+  EXPECT_EQ(g->num_edges(), 0u);
+  EXPECT_TRUE(g->CheckInvariants());
+}
+
+TYPED_TEST(EngineTest, SelfLoopIsStored) {
+  auto g = MakeEngine<TypeParam>(4);
+  EXPECT_TRUE(g->InsertEdge(3, 3));
+  EXPECT_TRUE(g->HasEdge(3, 3));
+  EXPECT_EQ(Neighbors(*g, 3), (std::vector<VertexId>{3}));
+}
+
+TYPED_TEST(EngineTest, BuildFromEdgesMatchesReference) {
+  constexpr VertexId kN = 256;
+  RmatGenerator gen({8, 0.5, 0.1, 0.1}, 99);
+  std::vector<Edge> edges = gen.Generate(0, 4000);
+  auto g = MakeEngine<TypeParam>(kN);
+  g->BuildFromEdges(edges);
+  RefGraph ref(kN);
+  for (const Edge& e : edges) {
+    ref.Insert(e.src, e.dst);
+  }
+  EXPECT_EQ(g->num_edges(), ref.num_edges());
+  for (VertexId v = 0; v < kN; ++v) {
+    ASSERT_EQ(g->degree(v), ref.degree(v)) << "vertex " << v;
+    ASSERT_EQ(Neighbors(*g, v), ref.Neighbors(v)) << "vertex " << v;
+  }
+  EXPECT_TRUE(g->CheckInvariants());
+}
+
+TYPED_TEST(EngineTest, BatchInsertThenDeleteRestoresGraph) {
+  constexpr VertexId kN = 512;
+  RmatGenerator gen({9, 0.5, 0.1, 0.1}, 7);
+  std::vector<Edge> base = gen.Generate(0, 6000);
+  auto g = MakeEngine<TypeParam>(kN);
+  g->BuildFromEdges(base);
+  EdgeCount edges_before = g->num_edges();
+
+  // The paper's protocol: insert a batch, then delete it again so the
+  // original graph is restored. Edges already present must not be deleted,
+  // so the delete batch is the genuinely-new subset.
+  RefGraph ref(kN);
+  for (const Edge& e : base) {
+    ref.Insert(e.src, e.dst);
+  }
+  std::vector<Edge> batch = gen.Generate(6000, 3000);
+  std::vector<Edge> fresh;
+  {
+    std::set<Edge> seen;
+    for (const Edge& e : batch) {
+      if (!ref.Has(e.src, e.dst) && seen.insert(e).second) {
+        fresh.push_back(e);
+      }
+    }
+  }
+  size_t added = g->InsertBatch(batch);
+  EXPECT_EQ(added, fresh.size());
+  EXPECT_EQ(g->num_edges(), edges_before + added);
+  size_t removed = g->DeleteBatch(fresh);
+  EXPECT_EQ(removed, added);
+  EXPECT_EQ(g->num_edges(), edges_before);
+  for (VertexId v = 0; v < kN; ++v) {
+    ASSERT_EQ(Neighbors(*g, v), ref.Neighbors(v)) << "vertex " << v;
+  }
+  EXPECT_TRUE(g->CheckInvariants());
+}
+
+TYPED_TEST(EngineTest, EmptyBatchIsNoop) {
+  auto g = MakeEngine<TypeParam>(8);
+  g->InsertEdge(0, 1);
+  EXPECT_EQ(g->InsertBatch({}), 0u);
+  EXPECT_EQ(g->DeleteBatch({}), 0u);
+  EXPECT_EQ(g->num_edges(), 1u);
+}
+
+TYPED_TEST(EngineTest, DuplicateHeavyBatchCountsUniqueEdges) {
+  auto g = MakeEngine<TypeParam>(8);
+  std::vector<Edge> batch;
+  for (int i = 0; i < 100; ++i) {
+    batch.push_back(Edge{1, 2});
+    batch.push_back(Edge{3, 4});
+  }
+  EXPECT_EQ(g->InsertBatch(batch), 2u);
+  EXPECT_EQ(g->num_edges(), 2u);
+}
+
+TYPED_TEST(EngineTest, DeleteOfAbsentEdgesIsIgnored) {
+  auto g = MakeEngine<TypeParam>(8);
+  g->InsertEdge(0, 1);
+  std::vector<Edge> batch = {{0, 2}, {5, 6}, {0, 1}};
+  EXPECT_EQ(g->DeleteBatch(batch), 1u);
+  EXPECT_EQ(g->num_edges(), 0u);
+}
+
+TYPED_TEST(EngineTest, HighDegreeVertexCrossesAllRepresentations) {
+  constexpr VertexId kN = 4;
+  auto g = MakeEngine<TypeParam>(kN);
+  // One hub vertex accumulating 20k neighbors in shuffled order exercises
+  // inline -> array -> RIA -> HITree (or PMA -> B-tree for Terrace).
+  constexpr VertexId kDeg = 20000;
+  std::vector<Edge> batch;
+  SplitMix64 rng(13);
+  std::vector<VertexId> dsts;
+  for (VertexId v = 0; v < kDeg; ++v) {
+    dsts.push_back(v + 10);
+  }
+  for (VertexId v = kDeg; v-- > 1;) {
+    std::swap(dsts[v], dsts[rng.NextBounded(v + 1)]);
+  }
+  for (VertexId dst : dsts) {
+    batch.push_back(Edge{0, dst});
+  }
+  size_t added = g->InsertBatch(batch);
+  EXPECT_EQ(added, kDeg);
+  EXPECT_EQ(g->degree(0), kDeg);
+  std::vector<VertexId> got = Neighbors(*g, 0);
+  ASSERT_EQ(got.size(), kDeg);
+  for (VertexId v = 0; v < kDeg; ++v) {
+    ASSERT_EQ(got[v], v + 10);
+  }
+  // Now delete every other edge and re-verify.
+  std::vector<Edge> dels;
+  for (VertexId v = 0; v < kDeg; v += 2) {
+    dels.push_back(Edge{0, v + 10});
+  }
+  EXPECT_EQ(g->DeleteBatch(dels), dels.size());
+  EXPECT_EQ(g->degree(0), kDeg / 2);
+  EXPECT_TRUE(g->CheckInvariants());
+}
+
+TYPED_TEST(EngineTest, RandomizedChurnAgainstReference) {
+  constexpr VertexId kN = 128;
+  auto g = MakeEngine<TypeParam>(kN);
+  RefGraph ref(kN);
+  SplitMix64 rng(55);
+  for (int round = 0; round < 30; ++round) {
+    std::vector<Edge> batch;
+    for (int i = 0; i < 200; ++i) {
+      batch.push_back(Edge{static_cast<VertexId>(rng.NextBounded(kN)),
+                           static_cast<VertexId>(rng.NextBounded(kN))});
+    }
+    if (round % 3 == 2) {
+      size_t expect = 0;
+      std::set<Edge> seen;
+      for (const Edge& e : batch) {
+        if (seen.insert(e).second && ref.Delete(e.src, e.dst)) {
+          ++expect;
+        }
+      }
+      ASSERT_EQ(g->DeleteBatch(batch), expect);
+    } else {
+      size_t expect = 0;
+      std::set<Edge> seen;
+      for (const Edge& e : batch) {
+        if (seen.insert(e).second && ref.Insert(e.src, e.dst)) {
+          ++expect;
+        }
+      }
+      ASSERT_EQ(g->InsertBatch(batch), expect);
+    }
+    ASSERT_EQ(g->num_edges(), ref.num_edges());
+  }
+  for (VertexId v = 0; v < kN; ++v) {
+    ASSERT_EQ(Neighbors(*g, v), ref.Neighbors(v)) << "vertex " << v;
+  }
+  EXPECT_TRUE(g->CheckInvariants());
+}
+
+TYPED_TEST(EngineTest, MemoryFootprintIsPositiveAndGrows) {
+  auto g = MakeEngine<TypeParam>(1024);
+  size_t empty_bytes = g->memory_footprint();
+  RmatGenerator gen({10, 0.5, 0.1, 0.1}, 3);
+  g->BuildFromEdges(gen.Generate(0, 50000));
+  EXPECT_GT(g->memory_footprint(), empty_bytes);
+}
+
+}  // namespace
+}  // namespace lsg

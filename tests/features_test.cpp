@@ -1,0 +1,100 @@
+// Extension features: dynamic vertex growth (LSGraph) and functional
+// snapshots (Aspen/PaC-tree baselines).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/baselines/ctree_graph.h"
+#include "src/core/lsgraph.h"
+
+namespace lsg {
+namespace {
+
+TEST(AddVerticesTest, NewVerticesStartEmptyAndAcceptEdges) {
+  LSGraph g(4);
+  g.InsertEdge(0, 1);
+  VertexId first = g.AddVertices(4);
+  EXPECT_EQ(first, 4u);
+  EXPECT_EQ(g.num_vertices(), 8u);
+  for (VertexId v = 4; v < 8; ++v) {
+    EXPECT_EQ(g.degree(v), 0u);
+  }
+  EXPECT_TRUE(g.InsertEdge(7, 0));
+  EXPECT_TRUE(g.InsertEdge(0, 7));
+  EXPECT_TRUE(g.HasEdge(7, 0));
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.CheckInvariants());
+}
+
+TEST(AddVerticesTest, GrowThenBatchUpdate) {
+  LSGraph g(2);
+  g.AddVertices(1000);
+  std::vector<Edge> batch;
+  for (VertexId v = 0; v < 1000; ++v) {
+    batch.push_back(Edge{v, v + 1});
+  }
+  EXPECT_EQ(g.InsertBatch(batch), 1000u);
+  EXPECT_TRUE(g.CheckInvariants());
+}
+
+TEST(SnapshotTest, SnapshotIsIsolatedFromFutureUpdates) {
+  AspenGraph g(64);
+  std::vector<Edge> base;
+  for (VertexId v = 0; v < 64; ++v) {
+    base.push_back(Edge{v, (v + 1) % 64});
+  }
+  g.BuildFromEdges(base);
+
+  CTreeGraph snap = g.Snapshot();
+  EXPECT_EQ(snap.num_edges(), g.num_edges());
+
+  // Mutate the live graph; the snapshot must not change.
+  std::vector<Edge> extra;
+  for (VertexId v = 0; v < 64; ++v) {
+    extra.push_back(Edge{v, (v + 7) % 64});
+  }
+  g.InsertBatch(extra);
+  g.DeleteEdge(0, 1);
+  EXPECT_EQ(snap.num_edges(), 64u);
+  EXPECT_TRUE(snap.HasEdge(0, 1));
+  EXPECT_FALSE(snap.HasEdge(0, 7));
+  EXPECT_TRUE(g.HasEdge(0, 7));
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_TRUE(snap.CheckInvariants());
+  EXPECT_TRUE(g.CheckInvariants());
+}
+
+TEST(SnapshotTest, SnapshotOfSnapshotAndMutationOfSnapshot) {
+  PacTreeGraph g(16);
+  for (VertexId v = 0; v < 16; ++v) {
+    g.InsertEdge(v, 0);
+  }
+  CTreeGraph s1 = g.Snapshot();
+  CTreeGraph s2 = s1.Snapshot();
+  s1.InsertEdge(3, 9);
+  EXPECT_TRUE(s1.HasEdge(3, 9));
+  EXPECT_FALSE(s2.HasEdge(3, 9));
+  EXPECT_FALSE(g.HasEdge(3, 9));
+  EXPECT_EQ(s2.num_edges(), 16u);
+}
+
+TEST(SnapshotTest, SnapshotSharesMemory) {
+  AspenGraph g(1024);
+  std::vector<Edge> base;
+  for (VertexId v = 0; v < 1024; ++v) {
+    for (VertexId k = 0; k < 64; ++k) {
+      base.push_back(Edge{v, (v * 64 + k * 17) % 1024});
+    }
+  }
+  g.BuildFromEdges(base);
+  size_t one = g.memory_footprint();
+  CTreeGraph snap = g.Snapshot();
+  // Footprint counts shared nodes twice, but the snapshot itself only adds
+  // the vertex array — the edge trees are shared, so a full deep copy would
+  // be ~2x `one`; the actual incremental cost is the vertex array only.
+  // Verify sharing indirectly: snapshot footprint equals the original's.
+  EXPECT_EQ(snap.memory_footprint(), one);
+}
+
+}  // namespace
+}  // namespace lsg

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/core/hitree.h"
+#include "src/core/options.h"
+#include "src/util/prng.h"
+
+namespace lsg {
+namespace {
+
+Options SmallThresholds(CoreStats* stats = nullptr) {
+  // Shrunk thresholds so tests cross every representation boundary quickly.
+  Options o;
+  o.alpha = 1.2;
+  o.block_size = 8;
+  o.a_threshold = 16;
+  o.m_threshold = 128;
+  o.stats = stats;
+  return o;
+}
+
+std::vector<VertexId> Iota(VertexId n, VertexId stride = 1) {
+  std::vector<VertexId> ids;
+  for (VertexId v = 0; v < n; ++v) {
+    ids.push_back(v * stride);
+  }
+  return ids;
+}
+
+TEST(LiaTest, BulkLoadRoundtrip) {
+  Options o = SmallThresholds();
+  std::vector<VertexId> ids = Iota(1000, 3);
+  Lia lia(o, ids);
+  EXPECT_EQ(lia.size(), ids.size());
+  std::vector<VertexId> out;
+  lia.Map([&out](VertexId v) { out.push_back(v); });
+  EXPECT_EQ(out, ids);
+  EXPECT_TRUE(lia.CheckInvariants());
+  for (VertexId v : {0u, 999u * 3, 500u * 3}) {
+    EXPECT_TRUE(lia.Contains(v));
+  }
+  EXPECT_FALSE(lia.Contains(1));
+  EXPECT_EQ(lia.First(), 0u);
+}
+
+TEST(LiaTest, SkewedKeysForceChildren) {
+  Options o = SmallThresholds();
+  // Clustered keys defeat the linear model, forcing packed blocks and
+  // children at bulkload.
+  std::vector<VertexId> ids;
+  for (VertexId v = 0; v < 300; ++v) {
+    ids.push_back(v);  // dense cluster
+  }
+  for (VertexId v = 0; v < 50; ++v) {
+    ids.push_back(1000000 + v * 1000);  // sparse far tail
+  }
+  Lia lia(o, ids);
+  EXPECT_EQ(lia.size(), ids.size());
+  std::vector<VertexId> out;
+  lia.Map([&out](VertexId v) { out.push_back(v); });
+  EXPECT_EQ(out, ids);
+  EXPECT_TRUE(lia.CheckInvariants());
+}
+
+TEST(LiaTest, InsertAllCases) {
+  CoreStats stats;
+  Options o = SmallThresholds(&stats);
+  std::vector<VertexId> ids = Iota(500, 10);
+  Lia lia(o, ids);
+  std::set<VertexId> oracle(ids.begin(), ids.end());
+  SplitMix64 rng(3);
+  for (int i = 0; i < 3000; ++i) {
+    VertexId key = static_cast<VertexId>(rng.NextBounded(5000));
+    ASSERT_EQ(lia.Insert(key), oracle.insert(key).second) << "key " << key;
+  }
+  EXPECT_EQ(lia.size(), oracle.size());
+  std::vector<VertexId> out;
+  lia.Map([&out](VertexId v) { out.push_back(v); });
+  EXPECT_EQ(out, std::vector<VertexId>(oracle.begin(), oracle.end()));
+  EXPECT_TRUE(lia.CheckInvariants());
+  // Dense inserts into a small array must have gone vertical at least once.
+  EXPECT_GT(stats.lia_child_creations.load(), 0u);
+}
+
+TEST(LiaTest, DeleteAcrossEntryTypes) {
+  Options o = SmallThresholds();
+  std::vector<VertexId> ids = Iota(2000);
+  Lia lia(o, ids);  // dense ids -> mixture of E, B, and C blocks
+  std::set<VertexId> oracle(ids.begin(), ids.end());
+  SplitMix64 rng(4);
+  for (int i = 0; i < 1500; ++i) {
+    VertexId key = static_cast<VertexId>(rng.NextBounded(2200));
+    ASSERT_EQ(lia.Delete(key), oracle.erase(key) != 0) << "key " << key;
+  }
+  std::vector<VertexId> out;
+  lia.Map([&out](VertexId v) { out.push_back(v); });
+  EXPECT_EQ(out, std::vector<VertexId>(oracle.begin(), oracle.end()));
+  EXPECT_TRUE(lia.CheckInvariants());
+}
+
+TEST(HiNodeTest, StartsAsArrayAndUpgrades) {
+  CoreStats stats;
+  Options o = SmallThresholds(&stats);
+  HiNode node(o);
+  EXPECT_EQ(node.kind(), HiNode::Kind::kArray);
+  // Fill past A: upgrade to RIA.
+  for (VertexId v = 0; v < o.a_threshold + 1; ++v) {
+    ASSERT_TRUE(node.Insert(v * 2));
+  }
+  EXPECT_EQ(node.kind(), HiNode::Kind::kRia);
+  // Fill past M with adversarial density until a RIA rebuild crosses M:
+  // conversion to LIA must eventually happen.
+  for (VertexId v = 0; v < 4 * o.m_threshold; ++v) {
+    node.Insert(v);
+  }
+  EXPECT_EQ(node.kind(), HiNode::Kind::kLia);
+  EXPECT_GT(stats.ria_to_hitree_conversions.load(), 0u);
+  EXPECT_TRUE(node.CheckInvariants());
+  EXPECT_EQ(node.size(), 4 * o.m_threshold);
+}
+
+TEST(HiNodeTest, BulkLoadSelectsKindBySize) {
+  Options o = SmallThresholds();
+  HiNode a(o);
+  a.BulkLoad(Iota(o.a_threshold));
+  EXPECT_EQ(a.kind(), HiNode::Kind::kArray);
+  HiNode r(o);
+  r.BulkLoad(Iota(o.m_threshold));
+  EXPECT_EQ(r.kind(), HiNode::Kind::kRia);
+  HiNode l(o);
+  l.BulkLoad(Iota(o.m_threshold + 1));
+  EXPECT_EQ(l.kind(), HiNode::Kind::kLia);
+  HiNode forced(o);
+  forced.BulkLoad(Iota(o.m_threshold + 1), /*force_flat=*/true);
+  EXPECT_EQ(forced.kind(), HiNode::Kind::kRia);
+}
+
+TEST(HiNodeTest, FirstAcrossKinds) {
+  Options o = SmallThresholds();
+  for (VertexId n : {VertexId{5}, VertexId{100}, VertexId{300}}) {
+    HiNode node(o);
+    std::vector<VertexId> ids = Iota(n, 7);
+    for (VertexId& v : ids) {
+      v += 13;
+    }
+    node.BulkLoad(ids);
+    EXPECT_EQ(node.First(), 13u);
+  }
+}
+
+TEST(HiNodeTest, DeleteToEmptyAndReuse) {
+  Options o = SmallThresholds();
+  HiNode node(o);
+  node.BulkLoad(Iota(200));
+  for (VertexId v = 0; v < 200; ++v) {
+    ASSERT_TRUE(node.Delete(v));
+  }
+  EXPECT_EQ(node.size(), 0u);
+  EXPECT_TRUE(node.Insert(9));
+  EXPECT_TRUE(node.Contains(9));
+}
+
+struct HiParam {
+  uint32_t a;
+  uint32_t m;
+  uint32_t bks;
+  uint64_t key_space;
+};
+
+class HiNodeOracleTest : public ::testing::TestWithParam<HiParam> {};
+
+TEST_P(HiNodeOracleTest, RandomizedAgainstStdSet) {
+  const HiParam& param = GetParam();
+  Options o;
+  o.a_threshold = param.a;
+  o.m_threshold = param.m;
+  o.block_size = param.bks;
+  HiNode node(o);
+  std::set<VertexId> oracle;
+  SplitMix64 rng(77);
+  for (int op = 0; op < 25000; ++op) {
+    VertexId key = static_cast<VertexId>(rng.NextBounded(param.key_space));
+    if (rng.NextDouble() < 0.65) {
+      ASSERT_EQ(node.Insert(key), oracle.insert(key).second) << "key " << key;
+    } else {
+      ASSERT_EQ(node.Delete(key), oracle.erase(key) != 0) << "key " << key;
+    }
+    ASSERT_EQ(node.size(), oracle.size());
+  }
+  EXPECT_EQ(node.Decode(), std::vector<VertexId>(oracle.begin(), oracle.end()));
+  EXPECT_TRUE(node.CheckInvariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Thresholds, HiNodeOracleTest,
+    ::testing::Values(HiParam{16, 128, 8, 2000},     // all kinds exercised
+                      HiParam{16, 128, 8, 100000},   // sparse keys
+                      HiParam{8, 64, 4, 1000},       // tiny blocks
+                      HiParam{32, 4096, 16, 50000},  // paper defaults
+                      HiParam{16, 128, 8, 4000000000ull}));
+
+}  // namespace
+}  // namespace lsg

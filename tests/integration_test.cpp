@@ -1,0 +1,176 @@
+// End-to-end streaming pipeline: build a snapshot, alternate update batches
+// with analytics (the paper's workload model, §1), and verify every engine
+// agrees with a reference graph and reference kernels at each step.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/analytics/bfs.h"
+#include "src/analytics/cc.h"
+#include "src/analytics/pagerank.h"
+#include "src/analytics/tc.h"
+#include "src/baselines/ctree_graph.h"
+#include "src/baselines/terrace_graph.h"
+#include "src/core/lsgraph.h"
+#include "src/gen/datasets.h"
+#include "src/gen/temporal.h"
+#include "tests/reference.h"
+
+namespace lsg {
+namespace {
+
+TEST(IntegrationTest, AlternatingUpdatesAndAnalyticsAcrossEngines) {
+  constexpr VertexId kN = 1 << 10;
+  DatasetSpec spec{"INT", 10, 8.0, 303};
+  std::vector<Edge> base = BuildDatasetEdges(spec);
+  ThreadPool pool(4);
+
+  LSGraph ls(kN, Options{}, &pool);
+  TerraceGraph terrace(kN, TerraceOptions{}, &pool);
+  AspenGraph aspen(kN, &pool);
+  PacTreeGraph pactree(kN, &pool);
+  RefGraph ref(kN);
+
+  ls.BuildFromEdges(base);
+  terrace.BuildFromEdges(base);
+  aspen.BuildFromEdges(base);
+  pactree.BuildFromEdges(base);
+  for (const Edge& e : base) {
+    ref.Insert(e.src, e.dst);
+  }
+
+  RmatGenerator stream({10, 0.5, 0.1, 0.1}, 999);
+  uint64_t cursor = 0;
+  for (int round = 0; round < 4; ++round) {
+    // Symmetrized update batch so the graph stays undirected.
+    std::vector<Edge> raw = stream.Generate(cursor, 4000);
+    cursor += 4000;
+    std::vector<Edge> batch;
+    for (const Edge& e : raw) {
+      if (e.src == e.dst) {
+        continue;
+      }
+      batch.push_back(e);
+      batch.push_back(Edge{e.dst, e.src});
+    }
+    size_t expect = 0;
+    {
+      std::set<Edge> seen;
+      for (const Edge& e : batch) {
+        if (seen.insert(e).second) {
+          expect += ref.Insert(e.src, e.dst);
+        }
+      }
+    }
+    ASSERT_EQ(ls.InsertBatch(batch), expect);
+    ASSERT_EQ(terrace.InsertBatch(batch), expect);
+    ASSERT_EQ(aspen.InsertBatch(batch), expect);
+    ASSERT_EQ(pactree.InsertBatch(batch), expect);
+
+    // Analytics on the updated snapshot must agree with the reference.
+    VertexId source = batch.front().src;
+    std::vector<uint32_t> expected_levels = RefBfsLevels(ref, source);
+    EXPECT_EQ(Bfs(ls, source, pool).level, expected_levels);
+    EXPECT_EQ(Bfs(terrace, source, pool).level, expected_levels);
+    EXPECT_EQ(Bfs(aspen, source, pool).level, expected_levels);
+    EXPECT_EQ(Bfs(pactree, source, pool).level, expected_levels);
+
+    uint64_t expected_triangles = RefTriangles(ref);
+    EXPECT_EQ(TriangleCount(ls, pool).triangles, expected_triangles);
+    EXPECT_EQ(TriangleCount(aspen, pool).triangles, expected_triangles);
+  }
+
+  EXPECT_TRUE(ls.CheckInvariants());
+  EXPECT_TRUE(terrace.CheckInvariants());
+  EXPECT_TRUE(aspen.CheckInvariants());
+  EXPECT_TRUE(pactree.CheckInvariants());
+}
+
+TEST(IntegrationTest, TemporalStreamReplay) {
+  TemporalSpec spec{"IT", 2000, 40000, 0.35, 88};
+  TemporalSplit split = SplitTemporalStream(GenerateTemporalStream(spec));
+  ThreadPool pool(4);
+
+  LSGraph g(spec.num_vertices, Options{}, &pool);
+  RefGraph ref(spec.num_vertices);
+  g.BuildFromEdges(split.base);
+  for (const Edge& e : split.base) {
+    ref.Insert(e.src, e.dst);
+  }
+  ASSERT_EQ(g.num_edges(), ref.num_edges());
+
+  // Replay the streamed 10% in arrival-order chunks (unsorted, bursty,
+  // duplicate-heavy), as in §6.5.
+  constexpr size_t kChunk = 500;
+  for (size_t off = 0; off < split.stream.size(); off += kChunk) {
+    size_t len = std::min(kChunk, split.stream.size() - off);
+    std::vector<Edge> chunk(split.stream.begin() + off,
+                            split.stream.begin() + off + len);
+    size_t expect = 0;
+    std::set<Edge> seen;
+    for (const Edge& e : chunk) {
+      if (seen.insert(e).second) {
+        expect += ref.Insert(e.src, e.dst);
+      }
+    }
+    ASSERT_EQ(g.InsertBatch(chunk), expect);
+  }
+  ASSERT_EQ(g.num_edges(), ref.num_edges());
+  for (VertexId v = 0; v < spec.num_vertices; ++v) {
+    std::vector<VertexId> got;
+    g.map_neighbors(v, [&got](VertexId u) { got.push_back(u); });
+    ASSERT_EQ(got, ref.Neighbors(v)) << "vertex " << v;
+  }
+  EXPECT_TRUE(g.CheckInvariants());
+}
+
+TEST(IntegrationTest, InsertDeleteChurnPreservesAnalytics) {
+  // Heavy churn (the paper's insert-then-delete protocol repeated) must
+  // leave analytics results identical to a fresh build.
+  constexpr VertexId kN = 256;
+  DatasetSpec spec{"CH", 8, 6.0, 11};
+  std::vector<Edge> base = BuildDatasetEdges(spec);
+  ThreadPool pool(2);
+  LSGraph g(kN, Options{}, &pool);
+  g.BuildFromEdges(base);
+
+  // Track which batch edges are genuinely new so the delete pass removes
+  // exactly them (batch edges overlapping the base graph must survive).
+  RefGraph ref(kN);
+  for (const Edge& e : base) {
+    ref.Insert(e.src, e.dst);
+  }
+  RmatGenerator stream({8, 0.5, 0.1, 0.1}, 123);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<Edge> batch = stream.Generate(round * 2000, 2000);
+    std::vector<Edge> fresh;
+    std::set<Edge> seen;
+    for (const Edge& e : batch) {
+      if (!ref.Has(e.src, e.dst) && seen.insert(e).second) {
+        fresh.push_back(e);
+      }
+    }
+    size_t added = g.InsertBatch(batch);
+    ASSERT_EQ(added, fresh.size());
+    size_t removed = g.DeleteBatch(fresh);
+    ASSERT_EQ(added, removed);
+  }
+
+  LSGraph fresh(kN, Options{}, &pool);
+  fresh.BuildFromEdges(base);
+  ASSERT_EQ(g.num_edges(), fresh.num_edges());
+  std::vector<double> pr_churned = PageRank(g, pool);
+  std::vector<double> pr_fresh = PageRank(fresh, pool);
+  for (VertexId v = 0; v < kN; ++v) {
+    ASSERT_DOUBLE_EQ(pr_churned[v], pr_fresh[v]);
+  }
+  std::vector<VertexId> cc_churned = ConnectedComponents(g, pool);
+  std::vector<VertexId> cc_fresh = ConnectedComponents(fresh, pool);
+  EXPECT_EQ(cc_churned, cc_fresh);
+}
+
+}  // namespace
+}  // namespace lsg

@@ -1,0 +1,139 @@
+// Tests for k-clique counting and direction-optimized BFS.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/analytics/bfs.h"
+#include "src/analytics/kclique.h"
+#include "src/analytics/tc.h"
+#include "src/baselines/ctree_graph.h"
+#include "src/core/lsgraph.h"
+#include "src/gen/datasets.h"
+#include "tests/reference.h"
+
+namespace lsg {
+namespace {
+
+void AddUndirected(LSGraph& g, VertexId a, VertexId b) {
+  g.InsertEdge(a, b);
+  g.InsertEdge(b, a);
+}
+
+TEST(KCliqueTest, CompleteGraphHasBinomialCounts) {
+  // K6: C(6,k) cliques of size k.
+  constexpr VertexId kN = 6;
+  LSGraph g(kN);
+  for (VertexId a = 0; a < kN; ++a) {
+    for (VertexId b = a + 1; b < kN; ++b) {
+      AddUndirected(g, a, b);
+    }
+  }
+  ThreadPool pool(2);
+  const uint64_t expected[] = {0, 6, 15, 20, 15, 6, 1};
+  for (int k = 1; k <= 6; ++k) {
+    EXPECT_EQ(CountKCliques(g, k, pool), expected[k]) << "k=" << k;
+  }
+  EXPECT_EQ(CountKCliques(g, 7, pool), 0u);
+}
+
+TEST(KCliqueTest, TriangleCountAgreesWithTc) {
+  DatasetSpec spec{"KC", 9, 6.0, 91};
+  std::vector<Edge> edges = BuildDatasetEdges(spec);
+  LSGraph g(512);
+  g.BuildFromEdges(edges);
+  ThreadPool pool(4);
+  EXPECT_EQ(CountKCliques(g, 3, pool), TriangleCount(g, pool).triangles);
+  EXPECT_EQ(CountKCliques(g, 2, pool), g.num_edges() / 2);  // symmetrized
+  EXPECT_EQ(CountKCliques(g, 1, pool), 512u);
+}
+
+TEST(KCliqueTest, FourCliquesOnKnownGraph) {
+  // Two K4s sharing one edge: K4 count = 2.
+  LSGraph g(6);
+  for (VertexId a = 0; a < 4; ++a) {
+    for (VertexId b = a + 1; b < 4; ++b) {
+      AddUndirected(g, a, b);
+    }
+  }
+  // Second K4 on {2,3,4,5}.
+  for (VertexId a = 2; a < 6; ++a) {
+    for (VertexId b = a + 1; b < 6; ++b) {
+      if (!g.HasEdge(a, b)) {
+        AddUndirected(g, a, b);
+      }
+    }
+  }
+  ThreadPool pool(2);
+  EXPECT_EQ(CountKCliques(g, 4, pool), 2u);
+  EXPECT_EQ(CountKCliques(g, 5, pool), 0u);
+}
+
+TEST(KCliqueTest, SelfLoopsDoNotInflateCounts) {
+  LSGraph g(3);
+  AddUndirected(g, 0, 1);
+  AddUndirected(g, 1, 2);
+  AddUndirected(g, 0, 2);
+  g.InsertEdge(0, 0);
+  g.InsertEdge(1, 1);
+  ThreadPool pool(2);
+  EXPECT_EQ(CountKCliques(g, 3, pool), 1u);
+}
+
+TEST(KCliqueTest, AgreesAcrossEngines) {
+  DatasetSpec spec{"KX", 8, 8.0, 12};
+  std::vector<Edge> edges = BuildDatasetEdges(spec);
+  ThreadPool pool(4);
+  LSGraph ls(256);
+  ls.BuildFromEdges(edges);
+  AspenGraph aspen(256);
+  aspen.BuildFromEdges(edges);
+  for (int k = 3; k <= 5; ++k) {
+    EXPECT_EQ(CountKCliques(ls, k, pool), CountKCliques(aspen, k, pool))
+        << "k=" << k;
+  }
+}
+
+TEST(BfsDirOptTest, LevelsMatchPushOnlyBfs) {
+  DatasetSpec spec{"DO", 10, 7.0, 5};
+  std::vector<Edge> edges = BuildDatasetEdges(spec);
+  LSGraph g(1024);
+  g.BuildFromEdges(edges);
+  ThreadPool pool(4);
+  VertexId source = edges.front().src;
+  BfsResult push = Bfs(g, source, pool);
+  BfsResult diropt = BfsDirOpt(g, source, pool);
+  EXPECT_EQ(push.level, diropt.level);
+  EXPECT_EQ(push.reached, diropt.reached);
+  // Parents may differ but must be valid: one level up and a real edge.
+  for (VertexId v = 0; v < 1024; ++v) {
+    if (diropt.parent[v] == kInvalidVertex || v == source) {
+      continue;
+    }
+    EXPECT_TRUE(g.HasEdge(diropt.parent[v], v)) << v;
+    EXPECT_EQ(diropt.level[diropt.parent[v]] + 1, diropt.level[v]) << v;
+  }
+}
+
+TEST(BfsDirOptTest, ForcedDenseModeStillCorrect) {
+  DatasetSpec spec{"DN", 8, 6.0, 6};
+  std::vector<Edge> edges = BuildDatasetEdges(spec);
+  LSGraph g(256);
+  g.BuildFromEdges(edges);
+  ThreadPool pool(2);
+  VertexId source = edges.front().src;
+  // Threshold 0 forces every round through the pull path.
+  BfsResult dense = BfsDirOpt(g, source, pool, /*dense_threshold=*/0.0);
+  BfsResult push = Bfs(g, source, pool);
+  EXPECT_EQ(dense.level, push.level);
+}
+
+TEST(BfsDirOptTest, IsolatedSourceTerminates) {
+  LSGraph g(8);
+  g.InsertEdge(1, 2);
+  ThreadPool pool(2);
+  BfsResult r = BfsDirOpt(g, 0, pool);
+  EXPECT_EQ(r.reached, 1u);
+}
+
+}  // namespace
+}  // namespace lsg

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "src/parallel/thread_pool.h"
+
+namespace lsg {
+namespace {
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::vector<int> hits(100, 0);
+  pool.ParallelFor(0, 100, [&](size_t i) { hits[i]++; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+TEST(ThreadPoolTest, EveryIndexVisitedExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 100000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(0, kN, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoop) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.ParallelFor(10, 10, [&](size_t) { ran = true; });
+  pool.ParallelFor(10, 5, [&](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, NonZeroBeginRespected) {
+  ThreadPool pool(3);
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(100, 200, [&](size_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), (100 + 199) * 100 / 2);
+}
+
+TEST(ThreadPoolTest, ChunkedCoversRangeWithValidThreadIds) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 5000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelForChunked(0, kN, [&](size_t lo, size_t hi, size_t tid) {
+    ASSERT_LT(tid, pool.num_threads());
+    for (size_t i = lo; i < hi; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, SequentialJobsReuseWorkers) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<size_t> count{0};
+    pool.ParallelFor(0, 1000, [&](size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(count.load(), 1000u);
+  }
+}
+
+TEST(ThreadPoolTest, ExplicitGrainStillCoversRange) {
+  ThreadPool pool(4);
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(
+      0, 1003, [&](size_t i) { sum.fetch_add(i, std::memory_order_relaxed); },
+      /*grain=*/7);
+  EXPECT_EQ(sum.load(), 1002ull * 1003 / 2);
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsUsable) {
+  std::atomic<size_t> count{0};
+  ParallelFor(0, 100, [&](size_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 100u);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace lsg

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/pma/pma.h"
+#include "src/util/prng.h"
+
+namespace lsg {
+namespace {
+
+std::vector<uint64_t> Dump(const Pma& pma) {
+  std::vector<uint64_t> out;
+  pma.MapAll([&out](uint64_t k) { out.push_back(k); });
+  return out;
+}
+
+TEST(PmaTest, InsertAndContains) {
+  Pma pma;
+  EXPECT_TRUE(pma.Insert(10));
+  EXPECT_TRUE(pma.Insert(5));
+  EXPECT_TRUE(pma.Insert(20));
+  EXPECT_FALSE(pma.Insert(10));  // duplicate
+  EXPECT_TRUE(pma.Contains(5));
+  EXPECT_TRUE(pma.Contains(10));
+  EXPECT_TRUE(pma.Contains(20));
+  EXPECT_FALSE(pma.Contains(15));
+  EXPECT_EQ(pma.size(), 3u);
+}
+
+TEST(PmaTest, MapAllAscending) {
+  Pma pma;
+  for (uint64_t k : {9u, 1u, 7u, 3u, 5u}) {
+    pma.Insert(k);
+  }
+  EXPECT_EQ(Dump(pma), (std::vector<uint64_t>{1, 3, 5, 7, 9}));
+}
+
+TEST(PmaTest, DeleteRemovesOnlyTarget) {
+  Pma pma;
+  for (uint64_t k = 0; k < 50; ++k) {
+    pma.Insert(k * 2);
+  }
+  EXPECT_TRUE(pma.Delete(10));
+  EXPECT_FALSE(pma.Delete(10));
+  EXPECT_FALSE(pma.Delete(11));  // never present
+  EXPECT_EQ(pma.size(), 49u);
+  EXPECT_FALSE(pma.Contains(10));
+  EXPECT_TRUE(pma.Contains(12));
+}
+
+TEST(PmaTest, GrowsUnderSequentialInsert) {
+  Pma pma;
+  size_t initial_cap = pma.capacity();
+  for (uint64_t k = 0; k < 10000; ++k) {
+    pma.Insert(k);
+  }
+  EXPECT_GT(pma.capacity(), initial_cap);
+  EXPECT_EQ(pma.size(), 10000u);
+  EXPECT_EQ(Dump(pma).size(), 10000u);
+  EXPECT_GT(pma.stats().resizes, 0u);
+}
+
+TEST(PmaTest, ShrinksAfterMassDeletion) {
+  Pma pma;
+  for (uint64_t k = 0; k < 10000; ++k) {
+    pma.Insert(k);
+  }
+  size_t grown_cap = pma.capacity();
+  for (uint64_t k = 0; k < 9990; ++k) {
+    pma.Delete(k);
+  }
+  EXPECT_LT(pma.capacity(), grown_cap);
+  EXPECT_EQ(pma.size(), 10u);
+  EXPECT_EQ(Dump(pma), (std::vector<uint64_t>{9990, 9991, 9992, 9993, 9994,
+                                              9995, 9996, 9997, 9998, 9999}));
+}
+
+TEST(PmaTest, MapRangeRespectsBounds) {
+  Pma pma;
+  for (uint64_t k = 0; k < 100; ++k) {
+    pma.Insert(k * 3);
+  }
+  std::vector<uint64_t> out;
+  pma.MapRange(30, 60, [&out](uint64_t k) { out.push_back(k); });
+  EXPECT_EQ(out, (std::vector<uint64_t>{30, 33, 36, 39, 42, 45, 48, 51, 54, 57}));
+  EXPECT_EQ(pma.CountRange(30, 60), 10u);
+  EXPECT_EQ(pma.CountRange(1000, 2000), 0u);
+}
+
+TEST(PmaTest, LowerBoundOnGappedArray) {
+  Pma pma;
+  for (uint64_t k : {10u, 20u, 30u}) {
+    pma.Insert(k);
+  }
+  size_t i = pma.LowerBound(15);
+  // Every key >= 15 must lie at or after the returned slot.
+  std::vector<uint64_t> after;
+  pma.MapRange(15, ~uint64_t{0} - 1, [&after](uint64_t k) { after.push_back(k); });
+  EXPECT_EQ(after, (std::vector<uint64_t>{20, 30}));
+  EXPECT_LE(i, pma.capacity());
+}
+
+TEST(PmaTest, TimingInstrumentationAccumulates) {
+  PmaOptions options;
+  options.timing = true;
+  Pma pma(options);
+  for (uint64_t k = 0; k < 2000; ++k) {
+    pma.Insert(k * 7 % 4096);
+  }
+  EXPECT_GT(pma.stats().search_seconds, 0.0);
+  EXPECT_GT(pma.stats().move_seconds, 0.0);
+  EXPECT_GT(pma.stats().search_probes, 0u);
+  EXPECT_GT(pma.stats().elements_moved, 0u);
+}
+
+struct PmaParam {
+  double leaf_lower;
+  double leaf_upper;
+  double root_lower;
+  double root_upper;
+  uint64_t key_space;
+};
+
+class PmaOracleTest : public ::testing::TestWithParam<PmaParam> {};
+
+TEST_P(PmaOracleTest, RandomizedAgainstStdSet) {
+  const PmaParam& param = GetParam();
+  PmaOptions options;
+  options.leaf_lower = param.leaf_lower;
+  options.leaf_upper = param.leaf_upper;
+  options.root_lower = param.root_lower;
+  options.root_upper = param.root_upper;
+  Pma pma(options);
+  std::set<uint64_t> oracle;
+  SplitMix64 rng(42);
+  for (int op = 0; op < 20000; ++op) {
+    uint64_t key = rng.NextBounded(param.key_space);
+    if (rng.NextDouble() < 0.65) {
+      EXPECT_EQ(pma.Insert(key), oracle.insert(key).second);
+    } else {
+      EXPECT_EQ(pma.Delete(key), oracle.erase(key) != 0);
+    }
+    ASSERT_EQ(pma.size(), oracle.size());
+  }
+  std::vector<uint64_t> expected(oracle.begin(), oracle.end());
+  EXPECT_EQ(Dump(pma), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Densities, PmaOracleTest,
+    ::testing::Values(PmaParam{0.10, 0.90, 0.25, 0.75, 1000},
+                      PmaParam{0.125, 0.25, 0.2, 0.22, 1000},  // Terrace-like
+                      PmaParam{0.30, 0.95, 0.40, 0.80, 100},
+                      PmaParam{0.10, 0.90, 0.25, 0.75, 1000000}));
+
+}  // namespace
+}  // namespace lsg

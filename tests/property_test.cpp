@@ -1,0 +1,175 @@
+// Cross-structure property tests: every ordered-set structure in the repo
+// (RIA, HiNode, B-tree, C-tree, PMA) must expose identical set semantics
+// under identical operation sequences — insert/delete/contains agree, and
+// ordered traversal yields the same sequence. Sweeps seeds and skews via
+// TEST_P.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/btree/btree_set.h"
+#include "src/core/hitree.h"
+#include "src/core/ria.h"
+#include "src/ctree/ctree.h"
+#include "src/pma/pma.h"
+#include "src/util/prng.h"
+
+namespace lsg {
+namespace {
+
+struct Param {
+  uint64_t seed;
+  uint64_t key_space;
+  double insert_prob;
+  int ops;
+};
+
+class SetEquivalenceTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(SetEquivalenceTest, AllStructuresAgreeOnEverySequence) {
+  const Param& p = GetParam();
+  Options options;
+  options.a_threshold = 16;
+  options.m_threshold = 256;
+  options.block_size = 8;
+  Ria ria(options);
+  HiNode hinode(options);
+  BTreeSet btree;
+  CTree ctree(16);
+  Pma pma;
+  std::set<VertexId> oracle;
+
+  SplitMix64 rng(p.seed);
+  for (int op = 0; op < p.ops; ++op) {
+    VertexId key = static_cast<VertexId>(rng.NextBounded(p.key_space));
+    if (rng.NextDouble() < p.insert_prob) {
+      bool expect = oracle.insert(key).second;
+      ASSERT_EQ(ria.Insert(key), expect) << "ria key " << key;
+      ASSERT_EQ(hinode.Insert(key), expect) << "hinode key " << key;
+      ASSERT_EQ(btree.Insert(key), expect) << "btree key " << key;
+      ASSERT_EQ(ctree.Insert(key), expect) << "ctree key " << key;
+      ASSERT_EQ(pma.Insert(key), expect) << "pma key " << key;
+    } else {
+      bool expect = oracle.erase(key) != 0;
+      ASSERT_EQ(ria.Delete(key), expect) << "ria key " << key;
+      ASSERT_EQ(hinode.Delete(key), expect) << "hinode key " << key;
+      ASSERT_EQ(btree.Delete(key), expect) << "btree key " << key;
+      ASSERT_EQ(ctree.Delete(key), expect) << "ctree key " << key;
+      ASSERT_EQ(pma.Delete(key), expect) << "pma key " << key;
+    }
+  }
+
+  // Point queries agree on hits and misses.
+  for (int probe = 0; probe < 500; ++probe) {
+    VertexId key = static_cast<VertexId>(rng.NextBounded(p.key_space));
+    bool expect = oracle.count(key) != 0;
+    ASSERT_EQ(ria.Contains(key), expect);
+    ASSERT_EQ(hinode.Contains(key), expect);
+    ASSERT_EQ(btree.Contains(key), expect);
+    ASSERT_EQ(ctree.Contains(key), expect);
+    ASSERT_EQ(pma.Contains(key), expect);
+  }
+
+  // Ordered traversal is identical everywhere.
+  std::vector<VertexId> expected(oracle.begin(), oracle.end());
+  EXPECT_EQ(ria.Decode(), expected);
+  EXPECT_EQ(hinode.Decode(), expected);
+  std::vector<VertexId> from_btree;
+  btree.Map([&from_btree](VertexId v) { from_btree.push_back(v); });
+  EXPECT_EQ(from_btree, expected);
+  EXPECT_EQ(ctree.Decode(), expected);
+  std::vector<VertexId> from_pma;
+  pma.MapAll([&from_pma](uint64_t k) {
+    from_pma.push_back(static_cast<VertexId>(k));
+  });
+  EXPECT_EQ(from_pma, expected);
+
+  // Structural invariants hold at the end of every sequence.
+  EXPECT_TRUE(ria.CheckInvariants());
+  EXPECT_TRUE(hinode.CheckInvariants());
+  EXPECT_TRUE(btree.CheckInvariants());
+  EXPECT_TRUE(ctree.CheckInvariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndSkews, SetEquivalenceTest,
+    ::testing::Values(
+        Param{1, 100, 0.7, 6000},           // tiny key space, heavy churn
+        Param{2, 5000, 0.6, 8000},          // medium
+        Param{3, 5000, 0.9, 8000},          // insert-heavy (growth paths)
+        Param{4, 5000, 0.35, 8000},         // delete-heavy (shrink paths)
+        Param{5, 1u << 30, 0.7, 8000},      // sparse keys
+        Param{6, 300, 0.5, 10000},          // long alternating churn
+        Param{7, 65536, 0.8, 12000}));      // crosses M repeatedly
+
+// Sequential patterns that historically break ordered structures.
+TEST(SetPatternTest, AscendingThenDescendingChurn) {
+  Options options;
+  options.a_threshold = 16;
+  options.m_threshold = 256;
+  options.block_size = 8;
+  HiNode hinode(options);
+  Ria ria(options);
+  for (VertexId v = 0; v < 5000; ++v) {
+    ASSERT_TRUE(hinode.Insert(v));
+    ASSERT_TRUE(ria.Insert(v));
+  }
+  for (VertexId v = 10000; v-- > 5000;) {
+    ASSERT_TRUE(hinode.Insert(v));
+    ASSERT_TRUE(ria.Insert(v));
+  }
+  for (VertexId v = 0; v < 10000; v += 2) {
+    ASSERT_TRUE(hinode.Delete(v));
+    ASSERT_TRUE(ria.Delete(v));
+  }
+  EXPECT_EQ(hinode.size(), 5000u);
+  EXPECT_EQ(ria.size(), 5000u);
+  EXPECT_EQ(hinode.Decode(), ria.Decode());
+  EXPECT_TRUE(hinode.CheckInvariants());
+  EXPECT_TRUE(ria.CheckInvariants());
+}
+
+TEST(SetPatternTest, ClusteredBurstsStressLiaBlocks) {
+  Options options;
+  options.a_threshold = 16;
+  options.m_threshold = 128;
+  options.block_size = 8;
+  HiNode node(options);
+  std::set<VertexId> oracle;
+  SplitMix64 rng(99);
+  // Bursts of tightly clustered keys defeat a linear model and force the
+  // horizontal-then-vertical conflict path repeatedly.
+  for (int burst = 0; burst < 60; ++burst) {
+    VertexId base = static_cast<VertexId>(rng.NextBounded(1u << 24));
+    for (int i = 0; i < 100; ++i) {
+      VertexId key = base + static_cast<VertexId>(rng.NextBounded(64));
+      ASSERT_EQ(node.Insert(key), oracle.insert(key).second);
+    }
+  }
+  EXPECT_EQ(node.size(), oracle.size());
+  EXPECT_EQ(node.Decode(), std::vector<VertexId>(oracle.begin(), oracle.end()));
+  EXPECT_TRUE(node.CheckInvariants());
+}
+
+TEST(SetPatternTest, BoundaryKeys) {
+  // Extremes of the key space must be storable everywhere.
+  Options options;
+  Ria ria(options);
+  HiNode node(options);
+  CTree ctree(16);
+  BTreeSet btree;
+  for (VertexId key : {VertexId{0}, VertexId{1}, kInvalidVertex - 1}) {
+    EXPECT_TRUE(ria.Insert(key));
+    EXPECT_TRUE(node.Insert(key));
+    EXPECT_TRUE(ctree.Insert(key));
+    EXPECT_TRUE(btree.Insert(key));
+  }
+  std::vector<VertexId> expected = {0, 1, kInvalidVertex - 1};
+  EXPECT_EQ(ria.Decode(), expected);
+  EXPECT_EQ(node.Decode(), expected);
+  EXPECT_EQ(ctree.Decode(), expected);
+}
+
+}  // namespace
+}  // namespace lsg

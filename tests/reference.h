@@ -1,0 +1,170 @@
+// Shared test oracles: a std::set-based reference graph and serial reference
+// implementations of every analytics kernel.
+#ifndef TESTS_REFERENCE_H_
+#define TESTS_REFERENCE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "src/util/graph_types.h"
+
+namespace lsg {
+
+// Adjacency-set reference graph.
+class RefGraph {
+ public:
+  explicit RefGraph(VertexId n) : adj_(n) {}
+
+  bool Insert(VertexId u, VertexId v) { return adj_[u].insert(v).second; }
+  bool Delete(VertexId u, VertexId v) { return adj_[u].erase(v) != 0; }
+  bool Has(VertexId u, VertexId v) const { return adj_[u].count(v) != 0; }
+
+  VertexId num_vertices() const { return static_cast<VertexId>(adj_.size()); }
+  size_t degree(VertexId v) const { return adj_[v].size(); }
+  EdgeCount num_edges() const {
+    EdgeCount total = 0;
+    for (const auto& s : adj_) {
+      total += s.size();
+    }
+    return total;
+  }
+
+  std::vector<VertexId> Neighbors(VertexId v) const {
+    return {adj_[v].begin(), adj_[v].end()};
+  }
+
+  template <typename F>
+  void map_neighbors(VertexId v, F&& f) const {
+    for (VertexId u : adj_[v]) {
+      f(u);
+    }
+  }
+
+ private:
+  std::vector<std::set<VertexId>> adj_;
+};
+
+inline std::vector<uint32_t> RefBfsLevels(const RefGraph& g, VertexId source) {
+  std::vector<uint32_t> level(g.num_vertices(), ~uint32_t{0});
+  std::deque<VertexId> queue{source};
+  level[source] = 0;
+  while (!queue.empty()) {
+    VertexId u = queue.front();
+    queue.pop_front();
+    for (VertexId v : g.Neighbors(u)) {
+      if (level[v] == ~uint32_t{0}) {
+        level[v] = level[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return level;
+}
+
+inline std::vector<double> RefPageRank(const RefGraph& g, double damping,
+                                       int iterations) {
+  VertexId n = g.num_vertices();
+  std::vector<double> rank(n, 1.0 / n);
+  std::vector<double> next(n);
+  for (int it = 0; it < iterations; ++it) {
+    std::vector<double> contrib(n, 0.0);
+    for (VertexId v = 0; v < n; ++v) {
+      if (g.degree(v) != 0) {
+        contrib[v] = rank[v] / g.degree(v);
+      }
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      double sum = 0.0;
+      for (VertexId u : g.Neighbors(v)) {
+        sum += contrib[u];
+      }
+      next[v] = (1.0 - damping) / n + damping * sum;
+    }
+    rank.swap(next);
+  }
+  return rank;
+}
+
+inline std::vector<VertexId> RefComponents(const RefGraph& g) {
+  VertexId n = g.num_vertices();
+  std::vector<VertexId> label(n, kInvalidVertex);
+  for (VertexId s = 0; s < n; ++s) {
+    if (label[s] != kInvalidVertex) {
+      continue;
+    }
+    std::deque<VertexId> queue{s};
+    label[s] = s;
+    while (!queue.empty()) {
+      VertexId u = queue.front();
+      queue.pop_front();
+      for (VertexId v : g.Neighbors(u)) {
+        if (label[v] == kInvalidVertex) {
+          label[v] = s;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return label;
+}
+
+inline uint64_t RefTriangles(const RefGraph& g) {
+  uint64_t count = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    std::vector<VertexId> nv = g.Neighbors(v);
+    for (VertexId u : nv) {
+      if (u <= v) {
+        continue;
+      }
+      for (VertexId w : nv) {
+        if (w > u && g.Has(u, w)) {
+          ++count;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+inline std::vector<double> RefBetweenness(const RefGraph& g, VertexId source) {
+  VertexId n = g.num_vertices();
+  std::vector<double> sigma(n, 0.0);
+  std::vector<uint32_t> level(n, ~uint32_t{0});
+  std::vector<double> delta(n, 0.0);
+  std::vector<VertexId> order;
+  std::deque<VertexId> queue{source};
+  sigma[source] = 1.0;
+  level[source] = 0;
+  while (!queue.empty()) {
+    VertexId u = queue.front();
+    queue.pop_front();
+    order.push_back(u);
+    for (VertexId v : g.Neighbors(u)) {
+      if (level[v] == ~uint32_t{0}) {
+        level[v] = level[u] + 1;
+        queue.push_back(v);
+      }
+      if (level[v] == level[u] + 1) {
+        sigma[v] += sigma[u];
+      }
+    }
+  }
+  for (size_t i = order.size(); i-- > 0;) {
+    VertexId w = order[i];
+    for (VertexId v : g.Neighbors(w)) {
+      if (level[v] + 1 == level[w] && sigma[w] != 0.0) {
+        delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+      }
+    }
+  }
+  delta[source] = 0.0;
+  return delta;
+}
+
+}  // namespace lsg
+
+#endif  // TESTS_REFERENCE_H_

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/core/options.h"
+#include "src/core/ria.h"
+#include "src/util/prng.h"
+
+namespace lsg {
+namespace {
+
+Options MakeOptions(double alpha = 1.2, uint32_t block_size = 16) {
+  Options o;
+  o.alpha = alpha;
+  o.block_size = block_size;
+  return o;
+}
+
+TEST(RiaTest, EmptyRia) {
+  Ria ria(MakeOptions());
+  EXPECT_TRUE(ria.empty());
+  EXPECT_FALSE(ria.Contains(3));
+  EXPECT_FALSE(ria.Delete(3));
+  EXPECT_TRUE(ria.CheckInvariants());
+}
+
+TEST(RiaTest, FirstInsertBootstraps) {
+  Ria ria(MakeOptions());
+  EXPECT_TRUE(ria.Insert(42));
+  EXPECT_TRUE(ria.Contains(42));
+  EXPECT_EQ(ria.First(), 42u);
+  EXPECT_EQ(ria.size(), 1u);
+  EXPECT_TRUE(ria.CheckInvariants());
+}
+
+TEST(RiaTest, BulkLoadSpreadsEvenlyWithNoEmptyBlocks) {
+  Ria ria(MakeOptions(1.2, 16));
+  std::vector<VertexId> ids;
+  for (VertexId v = 0; v < 1000; ++v) {
+    ids.push_back(v * 5);
+  }
+  ria.BulkLoad(ids);
+  EXPECT_EQ(ria.size(), 1000u);
+  EXPECT_EQ(ria.Decode(), ids);
+  EXPECT_TRUE(ria.CheckInvariants());
+  // Capacity follows alpha: ~1200 slots rounded to whole blocks.
+  EXPECT_GE(ria.capacity(), 1200u);
+  EXPECT_LE(ria.capacity(), 1200u + 16);
+}
+
+TEST(RiaTest, DuplicateInsertRejected) {
+  Ria ria(MakeOptions());
+  std::vector<VertexId> ids = {1, 2, 3, 4, 5};
+  ria.BulkLoad(ids);
+  EXPECT_FALSE(ria.Insert(3));
+  EXPECT_EQ(ria.size(), 5u);
+}
+
+TEST(RiaTest, CascadeMovesIntoNeighborBlocks) {
+  // Load so one block is full, then hammer inserts into its key range; the
+  // cascade should spill into neighbors before any expansion happens.
+  Ria ria(MakeOptions(1.2, 8));
+  std::vector<VertexId> ids;
+  for (VertexId v = 0; v < 64; ++v) {
+    ids.push_back(v * 100);
+  }
+  ria.BulkLoad(ids);
+  uint64_t expansions_before = ria.stats().expansions;
+  for (VertexId v = 1; v <= 3; ++v) {
+    ASSERT_TRUE(ria.Insert(v));  // all land in block 0's range
+  }
+  EXPECT_GT(ria.stats().cascades + 3, 0u);
+  EXPECT_EQ(ria.stats().expansions, expansions_before);
+  EXPECT_TRUE(ria.CheckInvariants());
+}
+
+TEST(RiaTest, ExpansionWhenMovementBoundExceeded) {
+  Ria ria(MakeOptions(1.1, 4));
+  std::vector<VertexId> ids;
+  for (VertexId v = 0; v < 4000; ++v) {
+    ids.push_back(v);
+  }
+  ria.BulkLoad(ids);
+  // Dense id space: keep inserting into the middle until expansion triggers.
+  for (VertexId v = 0; v < 4000; ++v) {
+    ria.Insert(4000 + v);
+  }
+  EXPECT_GT(ria.stats().expansions, 0u);
+  EXPECT_EQ(ria.size(), 8000u);
+  EXPECT_TRUE(ria.CheckInvariants());
+}
+
+TEST(RiaTest, DeleteRebuildsOnEmptyBlock) {
+  Ria ria(MakeOptions(1.2, 4));
+  std::vector<VertexId> ids;
+  for (VertexId v = 0; v < 40; ++v) {
+    ids.push_back(v);
+  }
+  ria.BulkLoad(ids);
+  for (VertexId v = 0; v < 40; ++v) {
+    ASSERT_TRUE(ria.Delete(v));
+    ASSERT_TRUE(ria.CheckInvariants()) << "after deleting " << v;
+  }
+  EXPECT_TRUE(ria.empty());
+  EXPECT_TRUE(ria.Insert(7));  // usable after emptying
+}
+
+TEST(RiaTest, TryInsertReportsNeedExpandWithoutMutating) {
+  Ria ria(MakeOptions(1.05, 4));
+  std::vector<VertexId> ids;
+  for (VertexId v = 0; v < 256; ++v) {
+    ids.push_back(v * 2);
+  }
+  ria.BulkLoad(ids);
+  // Fill gaps until TryInsert reports expansion needed.
+  bool saw_need_expand = false;
+  for (VertexId v = 0; v < 256 && !saw_need_expand; ++v) {
+    Ria::InsertResult res = ria.TryInsert(v * 2 + 1);
+    if (res == Ria::InsertResult::kNeedExpand) {
+      saw_need_expand = true;
+      size_t size_before = ria.size();
+      EXPECT_FALSE(ria.Contains(v * 2 + 1));
+      EXPECT_EQ(ria.size(), size_before);
+    }
+  }
+  EXPECT_TRUE(saw_need_expand);
+  EXPECT_TRUE(ria.CheckInvariants());
+}
+
+TEST(RiaTest, IndexBytesAreSmallFractionOfFootprint) {
+  Ria ria(MakeOptions());
+  std::vector<VertexId> ids;
+  for (VertexId v = 0; v < 100000; ++v) {
+    ids.push_back(v);
+  }
+  ria.BulkLoad(ids);
+  EXPECT_LT(ria.index_bytes() * 8, ria.memory_footprint());
+}
+
+struct RiaParam {
+  double alpha;
+  uint32_t block_size;
+  uint64_t key_space;
+};
+
+class RiaOracleTest : public ::testing::TestWithParam<RiaParam> {};
+
+TEST_P(RiaOracleTest, RandomizedAgainstStdSet) {
+  const RiaParam& param = GetParam();
+  Ria ria(MakeOptions(param.alpha, param.block_size));
+  std::set<VertexId> oracle;
+  SplitMix64 rng(31);
+  for (int op = 0; op < 20000; ++op) {
+    VertexId key = static_cast<VertexId>(rng.NextBounded(param.key_space));
+    if (rng.NextDouble() < 0.6) {
+      ASSERT_EQ(ria.Insert(key), oracle.insert(key).second) << "key " << key;
+    } else {
+      ASSERT_EQ(ria.Delete(key), oracle.erase(key) != 0) << "key " << key;
+    }
+    ASSERT_EQ(ria.size(), oracle.size());
+  }
+  EXPECT_EQ(ria.Decode(), std::vector<VertexId>(oracle.begin(), oracle.end()));
+  EXPECT_TRUE(ria.CheckInvariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaBlockKeySpace, RiaOracleTest,
+    ::testing::Values(RiaParam{1.2, 16, 1000}, RiaParam{1.1, 16, 1000},
+                      RiaParam{2.0, 16, 1000}, RiaParam{1.2, 4, 300},
+                      RiaParam{1.2, 64, 100000},
+                      RiaParam{1.3, 16, 4000000000ull}));
+
+}  // namespace
+}  // namespace lsg

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/baselines/sortledton_graph.h"
+#include "src/skiplist/block_skip_list.h"
+#include "src/util/prng.h"
+#include "tests/reference.h"
+
+namespace lsg {
+namespace {
+
+std::vector<VertexId> Dump(const BlockSkipList& l) {
+  std::vector<VertexId> out;
+  l.Map([&out](VertexId v) { out.push_back(v); });
+  return out;
+}
+
+TEST(BlockSkipListTest, EmptyList) {
+  BlockSkipList l;
+  EXPECT_TRUE(l.empty());
+  EXPECT_FALSE(l.Contains(5));
+  EXPECT_FALSE(l.Delete(5));
+  EXPECT_TRUE(Dump(l).empty());
+  EXPECT_TRUE(l.CheckInvariants());
+}
+
+TEST(BlockSkipListTest, InsertBelowMinimum) {
+  BlockSkipList l;
+  l.Insert(100);
+  EXPECT_TRUE(l.Insert(5));
+  EXPECT_TRUE(l.Insert(1));
+  EXPECT_EQ(l.First(), 1u);
+  EXPECT_EQ(Dump(l), (std::vector<VertexId>{1, 5, 100}));
+  EXPECT_TRUE(l.CheckInvariants());
+}
+
+TEST(BlockSkipListTest, SplitOnFullBlock) {
+  BlockSkipList l;
+  for (VertexId v = 0; v < 2000; ++v) {
+    ASSERT_TRUE(l.Insert(v * 2));
+  }
+  EXPECT_EQ(l.size(), 2000u);
+  EXPECT_TRUE(l.CheckInvariants());
+  // Middle inserts hit both halves of prior splits.
+  for (VertexId v = 0; v < 2000; ++v) {
+    ASSERT_TRUE(l.Insert(v * 2 + 1));
+  }
+  std::vector<VertexId> dump = Dump(l);
+  ASSERT_EQ(dump.size(), 4000u);
+  for (VertexId v = 0; v < 4000; ++v) {
+    ASSERT_EQ(dump[v], v);
+  }
+  EXPECT_TRUE(l.CheckInvariants());
+}
+
+TEST(BlockSkipListTest, DeleteUnlinksEmptyBlocks) {
+  BlockSkipList l;
+  for (VertexId v = 0; v < 1000; ++v) {
+    l.Insert(v);
+  }
+  for (VertexId v = 0; v < 1000; ++v) {
+    ASSERT_TRUE(l.Delete(v));
+  }
+  EXPECT_TRUE(l.empty());
+  EXPECT_TRUE(l.CheckInvariants());
+  EXPECT_TRUE(l.Insert(3));
+  EXPECT_EQ(l.First(), 3u);
+}
+
+TEST(BlockSkipListTest, BulkLoadRoundtrip) {
+  std::vector<VertexId> ids;
+  for (VertexId v = 0; v < 5000; ++v) {
+    ids.push_back(v * 3 + 1);
+  }
+  BlockSkipList l;
+  l.BulkLoad(ids);
+  EXPECT_EQ(l.size(), ids.size());
+  EXPECT_EQ(Dump(l), ids);
+  EXPECT_TRUE(l.CheckInvariants());
+  // BulkLoad over existing contents replaces them.
+  std::vector<VertexId> small = {7, 8, 9};
+  l.BulkLoad(small);
+  EXPECT_EQ(Dump(l), small);
+}
+
+TEST(BlockSkipListTest, MoveSemantics) {
+  BlockSkipList a;
+  a.Insert(1);
+  a.Insert(2);
+  BlockSkipList b = std::move(a);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_TRUE(b.Contains(1));
+}
+
+class SkipListOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SkipListOracleTest, RandomizedAgainstStdSet) {
+  BlockSkipList l;
+  std::set<VertexId> oracle;
+  SplitMix64 rng(GetParam());
+  for (int op = 0; op < 25000; ++op) {
+    VertexId key = static_cast<VertexId>(rng.NextBounded(4000));
+    if (rng.NextDouble() < 0.6) {
+      ASSERT_EQ(l.Insert(key), oracle.insert(key).second) << key;
+    } else {
+      ASSERT_EQ(l.Delete(key), oracle.erase(key) != 0) << key;
+    }
+  }
+  EXPECT_EQ(Dump(l), std::vector<VertexId>(oracle.begin(), oracle.end()));
+  EXPECT_TRUE(l.CheckInvariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SkipListOracleTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(SortledtonGraphTest, MatchesReferenceUnderChurn) {
+  constexpr VertexId kN = 128;
+  SortledtonGraph g(kN);
+  RefGraph ref(kN);
+  SplitMix64 rng(11);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<Edge> batch;
+    for (int i = 0; i < 300; ++i) {
+      batch.push_back(Edge{static_cast<VertexId>(rng.NextBounded(kN)),
+                           static_cast<VertexId>(rng.NextBounded(kN))});
+    }
+    std::set<Edge> seen;
+    size_t expect = 0;
+    bool deleting = round % 4 == 3;
+    for (const Edge& e : batch) {
+      if (seen.insert(e).second) {
+        expect += deleting ? ref.Delete(e.src, e.dst) : ref.Insert(e.src, e.dst);
+      }
+    }
+    size_t got = deleting ? g.DeleteBatch(batch) : g.InsertBatch(batch);
+    ASSERT_EQ(got, expect) << "round " << round;
+  }
+  for (VertexId v = 0; v < kN; ++v) {
+    std::vector<VertexId> out;
+    g.map_neighbors(v, [&out](VertexId u) { out.push_back(u); });
+    ASSERT_EQ(out, ref.Neighbors(v)) << "vertex " << v;
+  }
+  EXPECT_TRUE(g.CheckInvariants());
+}
+
+TEST(SortledtonGraphTest, PromotesToSkipListAtThreshold) {
+  SortledtonGraph g(2);
+  for (VertexId v = 0; v <= SortledtonGraph::kSmallSetMax + 50; ++v) {
+    ASSERT_TRUE(g.InsertEdge(0, v));
+  }
+  EXPECT_EQ(g.degree(0), SortledtonGraph::kSmallSetMax + 51);
+  std::vector<VertexId> out;
+  g.map_neighbors(0, [&out](VertexId u) { out.push_back(u); });
+  for (VertexId v = 0; v < out.size(); ++v) {
+    ASSERT_EQ(out[v], v);
+  }
+  EXPECT_TRUE(g.HasEdge(0, 100));
+  EXPECT_TRUE(g.DeleteEdge(0, 100));
+  EXPECT_FALSE(g.HasEdge(0, 100));
+  EXPECT_TRUE(g.CheckInvariants());
+}
+
+}  // namespace
+}  // namespace lsg

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/baselines/ctree_graph.h"
+#include "src/core/lsgraph.h"
+#include "src/gen/rmat.h"
+#include "src/gen/snapshot.h"
+
+namespace lsg {
+namespace {
+
+TEST(SnapshotTest, DumpEdgesIsSortedAndComplete) {
+  LSGraph g(16);
+  g.InsertEdge(3, 1);
+  g.InsertEdge(0, 5);
+  g.InsertEdge(3, 0);
+  std::vector<Edge> edges = DumpEdges(g);
+  EXPECT_EQ(edges, (std::vector<Edge>{{0, 5}, {3, 0}, {3, 1}}));
+}
+
+TEST(SnapshotTest, FreezeToCsrPreservesNeighbors) {
+  RmatGenerator gen({8, 0.5, 0.1, 0.1}, 44);
+  LSGraph g(256);
+  g.BuildFromEdges(gen.Generate(0, 5000));
+  Csr csr = FreezeToCsr(g);
+  EXPECT_EQ(csr.num_edges(), g.num_edges());
+  for (VertexId v = 0; v < 256; ++v) {
+    std::vector<VertexId> from_engine;
+    g.map_neighbors(v, [&](VertexId u) { from_engine.push_back(u); });
+    std::vector<VertexId> from_csr(csr.neighbors(v).begin(),
+                                   csr.neighbors(v).end());
+    ASSERT_EQ(from_engine, from_csr) << "vertex " << v;
+  }
+}
+
+TEST(SnapshotTest, SaveLoadRoundtripsAcrossEngineTypes) {
+  RmatGenerator gen({8, 0.5, 0.1, 0.1}, 45);
+  LSGraph original(256);
+  original.BuildFromEdges(gen.Generate(0, 4000));
+  std::string path = ::testing::TempDir() + "/snap.bin";
+  SaveSnapshot(original, path);
+
+  // Reload into a different engine type: snapshots are engine-agnostic.
+  std::unique_ptr<AspenGraph> reloaded = LoadSnapshot<AspenGraph>(path, 256);
+  EXPECT_EQ(reloaded->num_edges(), original.num_edges());
+  for (VertexId v = 0; v < 256; ++v) {
+    std::vector<VertexId> a;
+    std::vector<VertexId> b;
+    original.map_neighbors(v, [&](VertexId u) { a.push_back(u); });
+    reloaded->map_neighbors(v, [&](VertexId u) { b.push_back(u); });
+    ASSERT_EQ(a, b) << "vertex " << v;
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lsg

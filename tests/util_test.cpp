@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/bitvector.h"
+#include "src/util/cache.h"
+#include "src/util/graph_types.h"
+#include "src/util/prng.h"
+#include "src/util/sort.h"
+
+namespace lsg {
+namespace {
+
+TEST(CacheTest, AlignedAllocReturnsCacheLineAlignedMemory) {
+  for (size_t n : {1u, 63u, 64u, 65u, 4096u}) {
+    void* p = AlignedAlloc(n);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % kCacheLineBytes, 0u);
+    AlignedFree(p);
+  }
+}
+
+TEST(CacheTest, PerCacheLineCounts) {
+  EXPECT_EQ(kPerCacheLine<uint32_t>, 16u);
+  EXPECT_EQ(kPerCacheLine<uint64_t>, 8u);
+}
+
+TEST(CacheTest, AlignedBufferMoveTransfersOwnership) {
+  AlignedBuffer<uint32_t> a(100);
+  a[0] = 42;
+  AlignedBuffer<uint32_t> b = std::move(a);
+  EXPECT_EQ(b[0], 42u);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(CacheTest, AlignedBufferReset) {
+  AlignedBuffer<uint32_t> a(10);
+  a.reset(20);
+  EXPECT_EQ(a.size(), 20u);
+  a.reset(0);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(PrngTest, DeterministicForSameSeed) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(PrngTest, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += a.Next() == b.Next();
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(PrngTest, NextDoubleInUnitInterval) {
+  SplitMix64 rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(PrngTest, NextBoundedInRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(PrngTest, MixSeedProducesDistinctStreams) {
+  EXPECT_NE(MixSeed(1, 0), MixSeed(1, 1));
+  EXPECT_NE(MixSeed(1, 0), MixSeed(2, 0));
+  EXPECT_EQ(MixSeed(5, 9), MixSeed(5, 9));
+}
+
+TEST(TypeVectorTest, SetAndGetAllTypes) {
+  TypeVector tv(100);
+  tv.Set(0, SlotType::kEdge);
+  tv.Set(50, SlotType::kBlock);
+  tv.Set(99, SlotType::kChild);
+  EXPECT_EQ(tv.Get(0), SlotType::kEdge);
+  EXPECT_EQ(tv.Get(1), SlotType::kUnused);
+  EXPECT_EQ(tv.Get(50), SlotType::kBlock);
+  EXPECT_EQ(tv.Get(99), SlotType::kChild);
+}
+
+TEST(TypeVectorTest, SetRange) {
+  TypeVector tv(64);
+  tv.SetRange(10, 30, SlotType::kChild);
+  for (size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(tv.Get(i), i >= 10 && i < 30 ? SlotType::kChild
+                                           : SlotType::kUnused);
+  }
+}
+
+TEST(TypeVectorTest, OverwritePreservesNeighbors) {
+  TypeVector tv(32);
+  for (size_t i = 0; i < 32; ++i) {
+    tv.Set(i, SlotType::kEdge);
+  }
+  tv.Set(16, SlotType::kChild);
+  EXPECT_EQ(tv.Get(15), SlotType::kEdge);
+  EXPECT_EQ(tv.Get(16), SlotType::kChild);
+  EXPECT_EQ(tv.Get(17), SlotType::kEdge);
+}
+
+TEST(AtomicBitsetTest, TestAndSetFiresOnce) {
+  AtomicBitset bs(128);
+  EXPECT_TRUE(bs.TestAndSet(5));
+  EXPECT_FALSE(bs.TestAndSet(5));
+  EXPECT_TRUE(bs.Get(5));
+  EXPECT_FALSE(bs.Get(6));
+}
+
+TEST(AtomicBitsetTest, ClearResetsAllBits) {
+  AtomicBitset bs(70);
+  bs.Set(0);
+  bs.Set(69);
+  bs.Clear();
+  EXPECT_FALSE(bs.Get(0));
+  EXPECT_FALSE(bs.Get(69));
+}
+
+TEST(SortTest, RadixMatchesStdSortSmall) {
+  SplitMix64 rng(3);
+  std::vector<Edge> edges;
+  for (int i = 0; i < 500; ++i) {
+    edges.push_back(Edge{static_cast<VertexId>(rng.NextBounded(1000)),
+                         static_cast<VertexId>(rng.NextBounded(1000))});
+  }
+  std::vector<Edge> expected = edges;
+  std::sort(expected.begin(), expected.end());
+  RadixSortEdges(edges);
+  EXPECT_EQ(edges, expected);
+}
+
+TEST(SortTest, RadixMatchesStdSortLarge) {
+  SplitMix64 rng(4);
+  std::vector<Edge> edges;
+  for (int i = 0; i < 100000; ++i) {
+    edges.push_back(Edge{static_cast<VertexId>(rng.Next()),
+                         static_cast<VertexId>(rng.Next())});
+  }
+  std::vector<Edge> expected = edges;
+  std::sort(expected.begin(), expected.end());
+  RadixSortEdges(edges);
+  EXPECT_EQ(edges, expected);
+}
+
+TEST(SortTest, DedupRemovesAdjacentDuplicates) {
+  std::vector<Edge> edges = {{1, 2}, {1, 2}, {1, 3}, {2, 2}, {2, 2}, {2, 2}};
+  DedupSortedEdges(edges);
+  std::vector<Edge> expected = {{1, 2}, {1, 3}, {2, 2}};
+  EXPECT_EQ(edges, expected);
+}
+
+TEST(SortTest, EmptyAndSingleElement) {
+  std::vector<Edge> empty;
+  RadixSortEdges(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<Edge> one = {{5, 6}};
+  RadixSortEdges(one);
+  EXPECT_EQ(one.size(), 1u);
+}
+
+}  // namespace
+}  // namespace lsg

@@ -1,0 +1,233 @@
+// White-box tests of rare structural paths: LIA merged children and child
+// detachment, RIA cascade directions at array boundaries, PMA window
+// rebalance edges, HiNode force_flat, thread-pool contention.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "src/core/hitree.h"
+#include "src/core/ria.h"
+#include "src/parallel/thread_pool.h"
+#include "src/pma/pma.h"
+#include "src/util/prng.h"
+
+namespace lsg {
+namespace {
+
+Options TightOptions() {
+  Options o;
+  o.alpha = 1.2;
+  o.block_size = 8;
+  o.a_threshold = 16;
+  o.m_threshold = 64;
+  return o;
+}
+
+TEST(LiaWhitebox, MergedChildrenSurviveChurn) {
+  // A huge dense cluster in the middle of a sparse range maps thousands of
+  // ids onto a handful of LIA blocks -> adjacent child groups get merged.
+  Options o = TightOptions();
+  std::vector<VertexId> ids;
+  ids.push_back(0);
+  for (VertexId v = 0; v < 3000; ++v) {
+    ids.push_back(500000 + v);  // dense cluster
+  }
+  ids.push_back(4000000000u);
+  Lia lia(o, ids);
+  EXPECT_TRUE(lia.CheckInvariants());
+  // Delete the entire cluster through the merged child.
+  for (VertexId v = 0; v < 3000; ++v) {
+    ASSERT_TRUE(lia.Delete(500000 + v)) << v;
+  }
+  EXPECT_TRUE(lia.CheckInvariants());
+  EXPECT_EQ(lia.size(), 2u);
+  EXPECT_TRUE(lia.Contains(0));
+  EXPECT_TRUE(lia.Contains(4000000000u));
+  EXPECT_FALSE(lia.Contains(500001));
+  // The detached blocks must accept fresh inserts again.
+  for (VertexId v = 0; v < 100; ++v) {
+    ASSERT_TRUE(lia.Insert(500000 + v * 7));
+  }
+  EXPECT_TRUE(lia.CheckInvariants());
+}
+
+TEST(LiaWhitebox, ChildOfChildRecursion) {
+  // Keys so clustered that a child node itself exceeds M and recurses into
+  // another LIA (or a forced-flat RIA on degenerate progress).
+  Options o = TightOptions();
+  std::vector<VertexId> ids;
+  for (VertexId v = 0; v < 2000; ++v) {
+    ids.push_back(1000000 + v);
+  }
+  Lia lia(o, ids);
+  EXPECT_TRUE(lia.CheckInvariants());
+  std::vector<VertexId> out;
+  lia.Map([&out](VertexId v) { out.push_back(v); });
+  EXPECT_EQ(out, ids);
+}
+
+TEST(LiaWhitebox, DeleteFromEverySlotTypeThenReinsert) {
+  Options o = TightOptions();
+  std::vector<VertexId> ids;
+  for (VertexId v = 0; v < 500; ++v) {
+    ids.push_back(v * 16);  // spread: mostly E entries
+  }
+  for (VertexId v = 0; v < 64; ++v) {
+    ids.push_back(3000 + v);  // cluster: B and C entries
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  Lia lia(o, ids);
+  std::set<VertexId> oracle(ids.begin(), ids.end());
+  SplitMix64 rng(5);
+  for (int round = 0; round < 3000; ++round) {
+    VertexId key = ids[rng.NextBounded(ids.size())];
+    if (rng.NextDouble() < 0.5) {
+      ASSERT_EQ(lia.Delete(key), oracle.erase(key) != 0);
+    } else {
+      ASSERT_EQ(lia.Insert(key), oracle.insert(key).second);
+    }
+  }
+  std::vector<VertexId> out;
+  lia.Map([&out](VertexId v) { out.push_back(v); });
+  EXPECT_EQ(out, std::vector<VertexId>(oracle.begin(), oracle.end()));
+  EXPECT_TRUE(lia.CheckInvariants());
+}
+
+TEST(RiaWhitebox, CascadeAtLeftEdgeOfArray) {
+  // Block 0 full, all gaps to the right: inserts below the minimum must
+  // cascade rightward from block 0 (no left neighbor exists).
+  Options o = TightOptions();
+  Ria ria(o);
+  std::vector<VertexId> ids;
+  for (VertexId v = 0; v < 64; ++v) {
+    ids.push_back(1000 + v);
+  }
+  ria.BulkLoad(ids);
+  // Fill block 0's range downward.
+  for (VertexId v = 0; v < 30; ++v) {
+    ASSERT_TRUE(ria.Insert(v)) << v;
+    ASSERT_TRUE(ria.CheckInvariants()) << v;
+  }
+  EXPECT_EQ(ria.First(), 0u);
+}
+
+TEST(RiaWhitebox, CascadeAtRightEdgeOfArray) {
+  Options o = TightOptions();
+  Ria ria(o);
+  std::vector<VertexId> ids;
+  for (VertexId v = 0; v < 64; ++v) {
+    ids.push_back(v);
+  }
+  ria.BulkLoad(ids);
+  // Push past the maximum: the home block is the last one; gaps may only be
+  // found leftward.
+  for (VertexId v = 0; v < 30; ++v) {
+    ASSERT_TRUE(ria.Insert(1000 + v)) << v;
+    ASSERT_TRUE(ria.CheckInvariants()) << v;
+  }
+}
+
+TEST(RiaWhitebox, InterleavedCascadesKeepIndexRedundant) {
+  Options o = TightOptions();
+  Ria ria(o);
+  std::vector<VertexId> ids;
+  for (VertexId v = 0; v < 256; ++v) {
+    ids.push_back(v * 10);
+  }
+  ria.BulkLoad(ids);
+  SplitMix64 rng(9);
+  std::set<VertexId> oracle(ids.begin(), ids.end());
+  for (int i = 0; i < 3000; ++i) {
+    VertexId key = static_cast<VertexId>(rng.NextBounded(2560));
+    ASSERT_EQ(ria.Insert(key), oracle.insert(key).second);
+    if (i % 64 == 0) {
+      ASSERT_TRUE(ria.CheckInvariants()) << "op " << i;
+    }
+  }
+  EXPECT_EQ(ria.Decode(), std::vector<VertexId>(oracle.begin(), oracle.end()));
+}
+
+TEST(PmaWhitebox, AlternatingGrowShrinkCycles) {
+  Pma pma;
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    for (uint64_t k = 0; k < 5000; ++k) {
+      pma.Insert(k * 3 + cycle);
+    }
+    size_t grown = pma.capacity();
+    for (uint64_t k = 0; k < 5000; ++k) {
+      pma.Delete(k * 3 + cycle);
+    }
+    EXPECT_LE(pma.capacity(), grown);
+    EXPECT_EQ(pma.size(), 0u);
+  }
+}
+
+TEST(PmaWhitebox, InsertAtEndOfArrayRepeatedly) {
+  // Appending the running maximum hammers the last segment and the
+  // insert-at-end window-selection path.
+  Pma pma;
+  for (uint64_t k = 0; k < 20000; ++k) {
+    ASSERT_TRUE(pma.Insert(k));
+  }
+  EXPECT_EQ(pma.size(), 20000u);
+  uint64_t prev = 0;
+  bool first = true;
+  pma.MapAll([&](uint64_t k) {
+    if (!first) {
+      ASSERT_GT(k, prev);
+    }
+    prev = k;
+    first = false;
+  });
+}
+
+TEST(HiNodeWhitebox, ForceFlatStaysRiaAboveM) {
+  Options o = TightOptions();
+  HiNode node(o);
+  std::vector<VertexId> ids;
+  for (VertexId v = 0; v < 4 * o.m_threshold; ++v) {
+    ids.push_back(v);
+  }
+  node.BulkLoad(ids, /*force_flat=*/true);
+  EXPECT_EQ(node.kind(), HiNode::Kind::kRia);
+  EXPECT_EQ(node.size(), ids.size());
+  EXPECT_TRUE(node.CheckInvariants());
+}
+
+TEST(ThreadPoolWhitebox, ManyConcurrentAtomicUpdates) {
+  ThreadPool pool(8);
+  std::atomic<uint64_t> sum{0};
+  constexpr size_t kN = 1 << 18;
+  pool.ParallelFor(0, kN, [&](size_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), uint64_t{kN} * (kN - 1) / 2);
+}
+
+TEST(ThreadPoolWhitebox, UnbalancedWorkSelfSchedules) {
+  // Front-loaded work: dynamic chunking must not leave threads idle so long
+  // that the job stalls (smoke test for the scheduling loop, not a timing
+  // assertion).
+  ThreadPool pool(4);
+  std::atomic<size_t> done{0};
+  std::atomic<uint64_t> sink{0};
+  pool.ParallelFor(
+      0, 1000,
+      [&](size_t i) {
+        uint64_t x = 0;
+        size_t spin = i < 10 ? 100000 : 10;
+        for (size_t k = 0; k < spin; ++k) {
+          x += k * k;
+        }
+        sink.fetch_add(x, std::memory_order_relaxed);  // keep the spin alive
+        done.fetch_add(1, std::memory_order_relaxed);
+      },
+      /*grain=*/1);
+  EXPECT_EQ(done.load(), 1000u);
+}
+
+}  // namespace
+}  // namespace lsg
