@@ -36,6 +36,35 @@ void RunSystem(const char* name, G& g, const DatasetSpec& spec,
   rows->push_back(Row{name, 10, Throughput(10, ins_s), Throughput(10, del_s)});
 }
 
+// Phase breakdown for the shared ingestion pipeline (sort / group / apply,
+// each in edges-per-second of the full batch) so future changes can see
+// which stage moves. Uses the engine's PrepareBatch + InsertPrepared split;
+// the inserted edges are removed afterwards so the snapshot is unchanged.
+template <typename G>
+void RunPhaseBreakdown(const char* name, G& g, const DatasetSpec& spec,
+                       ThreadPool& pool) {
+  std::printf("\n%s InsertBatch phase breakdown (edges/s):\n", name);
+  std::printf("%12s %14s %14s %14s\n", "batch", "sort", "group", "apply");
+  for (uint64_t batch_size : BatchSizes()) {
+    std::vector<Edge> batch = BuildUpdateBatch(spec, batch_size, /*trial=*/2);
+    std::vector<Edge> fresh(batch);
+    ParallelSortEdges(fresh, pool);
+    std::erase_if(fresh,
+                  [&g](const Edge& e) { return g.HasEdge(e.src, e.dst); });
+    PrepareStats stats;
+    PreparedBatch pb = PrepareBatch(std::move(batch), pool, &stats);
+    Timer timer;
+    g.InsertPrepared(pb);
+    double apply_s = timer.Seconds();
+    g.DeleteBatch(fresh);
+    std::printf("%12llu %14.3e %14.3e %14.3e\n",
+                static_cast<unsigned long long>(batch_size),
+                Throughput(batch_size, stats.sort_seconds),
+                Throughput(batch_size, stats.group_seconds),
+                Throughput(batch_size, apply_s));
+  }
+}
+
 void RunDataset(const DatasetSpec& spec, ThreadPool& pool) {
   std::printf("\n--- %s (|V|=%u) ---\n", spec.name.c_str(),
               NumVerticesFor(spec));
@@ -43,6 +72,7 @@ void RunDataset(const DatasetSpec& spec, ThreadPool& pool) {
   {
     auto g = MakeLsGraph(spec, &pool);
     RunSystem("LSGraph", *g, spec, &rows);
+    RunPhaseBreakdown("LSGraph", *g, spec, pool);
   }
   // Terrace on the largest graph is omitted, as in the paper ("throughputs
   // of the FR graph for Terrace are omitted because of time constraints").

@@ -142,8 +142,7 @@ template <typename G>
 std::pair<double, double> TimeInsertDeleteRound(G& g,
                                                 const std::vector<Edge>& batch) {
   std::vector<Edge> fresh(batch.begin(), batch.end());
-  RadixSortEdges(fresh);
-  DedupSortedEdges(fresh);
+  ParallelSortEdges(fresh, ThreadPool::Global());
   std::erase_if(fresh, [&g](const Edge& e) { return g.HasEdge(e.src, e.dst); });
 
   Timer timer;

@@ -25,7 +25,7 @@ std::vector<VertexId> ConnectedComponents(const G& g, ThreadPool& pool) {
   // A vertex may be re-lowered several times per round; the `queued` bitset
   // keeps it from entering the next frontier more than once.
   AtomicBitset queued(n);
-  VertexSubset frontier = VertexSubset::All(n);
+  VertexSubset frontier = VertexSubset::All(n, &pool);
   while (!frontier.empty()) {
     queued.Clear();
     frontier = EdgeMap(

@@ -6,23 +6,6 @@
 
 namespace lsg {
 
-namespace {
-
-std::vector<size_t> GroupBySource(std::vector<Edge>& edges) {
-  RadixSortEdges(edges);
-  DedupSortedEdges(edges);
-  std::vector<size_t> starts;
-  for (size_t i = 0; i < edges.size(); ++i) {
-    if (i == 0 || edges[i].src != edges[i - 1].src) {
-      starts.push_back(i);
-    }
-  }
-  starts.push_back(edges.size());
-  return starts;
-}
-
-}  // namespace
-
 CTreeGraph::CTreeGraph(VertexId num_vertices, uint32_t expected_chunk_size,
                        ThreadPool* pool)
     : vtree_(num_vertices, VNode{0, CTree(expected_chunk_size)}),
@@ -51,31 +34,32 @@ ThreadPool& CTreeGraph::pool() const {
 }
 
 void CTreeGraph::BuildFromEdges(std::vector<Edge> edges) {
-  std::vector<size_t> starts = GroupBySource(edges);
-  size_t groups = starts.empty() ? 0 : starts.size() - 1;
-  pool().ParallelFor(0, groups, [&](size_t g) {
-    size_t begin = starts[g];
-    size_t end = starts[g + 1];
+  PreparedBatch pb = PrepareBatch(std::move(edges), pool());
+  ForEachGroupLargestFirst(pb, pool(), [&](size_t g) {
+    size_t begin = pb.group_begin(g);
+    size_t end = pb.group_end(g);
     std::vector<VertexId> ids;
     ids.reserve(end - begin);
     for (size_t i = begin; i < end; ++i) {
-      ids.push_back(edges[i].dst);
+      ids.push_back(pb.edges[i].dst);
     }
-    FindTree(edges[begin].src).BulkLoad(ids);
+    FindTree(pb.edges[begin].src).BulkLoad(ids);
   });
-  num_edges_ = edges.size();
+  num_edges_ = pb.edges.size();
 }
 
 size_t CTreeGraph::InsertBatch(std::span<const Edge> batch) {
-  std::vector<Edge> edges(batch.begin(), batch.end());
-  std::vector<size_t> starts = GroupBySource(edges);
-  size_t groups = starts.empty() ? 0 : starts.size() - 1;
+  return InsertPrepared(
+      PrepareBatch(std::vector<Edge>(batch.begin(), batch.end()), pool()));
+}
+
+size_t CTreeGraph::InsertPrepared(const PreparedBatch& pb) {
   std::atomic<size_t> added{0};
-  pool().ParallelFor(0, groups, [&](size_t g) {
+  ForEachGroupLargestFirst(pb, pool(), [&](size_t g) {
     size_t local = 0;
-    CTree& tree = FindTree(edges[starts[g]].src);
-    for (size_t i = starts[g]; i < starts[g + 1]; ++i) {
-      local += tree.Insert(edges[i].dst);
+    CTree& tree = FindTree(pb.group_source(g));
+    for (size_t i = pb.group_begin(g); i < pb.group_end(g); ++i) {
+      local += tree.Insert(pb.edges[i].dst);
     }
     added.fetch_add(local, std::memory_order_relaxed);
   });
@@ -84,15 +68,17 @@ size_t CTreeGraph::InsertBatch(std::span<const Edge> batch) {
 }
 
 size_t CTreeGraph::DeleteBatch(std::span<const Edge> batch) {
-  std::vector<Edge> edges(batch.begin(), batch.end());
-  std::vector<size_t> starts = GroupBySource(edges);
-  size_t groups = starts.empty() ? 0 : starts.size() - 1;
+  return DeletePrepared(
+      PrepareBatch(std::vector<Edge>(batch.begin(), batch.end()), pool()));
+}
+
+size_t CTreeGraph::DeletePrepared(const PreparedBatch& pb) {
   std::atomic<size_t> removed{0};
-  pool().ParallelFor(0, groups, [&](size_t g) {
+  ForEachGroupLargestFirst(pb, pool(), [&](size_t g) {
     size_t local = 0;
-    CTree& tree = FindTree(edges[starts[g]].src);
-    for (size_t i = starts[g]; i < starts[g + 1]; ++i) {
-      local += tree.Delete(edges[i].dst);
+    CTree& tree = FindTree(pb.group_source(g));
+    for (size_t i = pb.group_begin(g); i < pb.group_end(g); ++i) {
+      local += tree.Delete(pb.edges[i].dst);
     }
     removed.fetch_add(local, std::memory_order_relaxed);
   });

@@ -25,6 +25,7 @@
 #include "src/ctree/ctree.h"
 #include "src/parallel/thread_pool.h"
 #include "src/util/graph_types.h"
+#include "src/util/sort.h"
 
 namespace lsg {
 
@@ -39,6 +40,10 @@ class CTreeGraph {
   void BuildFromEdges(std::vector<Edge> edges);
   size_t InsertBatch(std::span<const Edge> batch);
   size_t DeleteBatch(std::span<const Edge> batch);
+
+  // Apply phase only, for callers that already ran PrepareBatch.
+  size_t InsertPrepared(const PreparedBatch& pb);
+  size_t DeletePrepared(const PreparedBatch& pb);
 
   // O(|V|) snapshot sharing all edge-tree structure with this graph (the
   // purely-functional trees make this cheap — Aspen's signature feature).

@@ -7,23 +7,6 @@
 
 namespace lsg {
 
-namespace {
-
-std::vector<size_t> GroupBySource(std::vector<Edge>& edges) {
-  RadixSortEdges(edges);
-  DedupSortedEdges(edges);
-  std::vector<size_t> starts;
-  for (size_t i = 0; i < edges.size(); ++i) {
-    if (i == 0 || edges[i].src != edges[i - 1].src) {
-      starts.push_back(i);
-    }
-  }
-  starts.push_back(edges.size());
-  return starts;
-}
-
-}  // namespace
-
 bool SortledtonGraph::InsertIntoVertex(Adjacency& a, VertexId dst) {
   if (a.big != nullptr) {
     return a.big->Insert(dst);
@@ -63,17 +46,16 @@ bool SortledtonGraph::HasEdge(VertexId src, VertexId dst) const {
 }
 
 void SortledtonGraph::BuildFromEdges(std::vector<Edge> edges) {
-  std::vector<size_t> starts = GroupBySource(edges);
-  size_t groups = starts.empty() ? 0 : starts.size() - 1;
-  pool().ParallelFor(0, groups, [&](size_t g) {
-    size_t begin = starts[g];
-    size_t end = starts[g + 1];
-    Adjacency& a = adj_[edges[begin].src];
+  PreparedBatch pb = PrepareBatch(std::move(edges), pool());
+  ForEachGroupLargestFirst(pb, pool(), [&](size_t g) {
+    size_t begin = pb.group_begin(g);
+    size_t end = pb.group_end(g);
+    Adjacency& a = adj_[pb.edges[begin].src];
     size_t deg = end - begin;
     std::vector<VertexId> ids;
     ids.reserve(deg);
     for (size_t i = begin; i < end; ++i) {
-      ids.push_back(edges[i].dst);
+      ids.push_back(pb.edges[i].dst);
     }
     if (deg > kSmallSetMax) {
       a.big = std::make_unique<BlockSkipList>();
@@ -82,19 +64,21 @@ void SortledtonGraph::BuildFromEdges(std::vector<Edge> edges) {
       a.small = std::move(ids);
     }
   });
-  num_edges_ = edges.size();
+  num_edges_ = pb.edges.size();
 }
 
 size_t SortledtonGraph::InsertBatch(std::span<const Edge> batch) {
-  std::vector<Edge> edges(batch.begin(), batch.end());
-  std::vector<size_t> starts = GroupBySource(edges);
-  size_t groups = starts.empty() ? 0 : starts.size() - 1;
+  return InsertPrepared(
+      PrepareBatch(std::vector<Edge>(batch.begin(), batch.end()), pool()));
+}
+
+size_t SortledtonGraph::InsertPrepared(const PreparedBatch& pb) {
   std::atomic<size_t> added{0};
-  pool().ParallelFor(0, groups, [&](size_t g) {
+  ForEachGroupLargestFirst(pb, pool(), [&](size_t g) {
     size_t local = 0;
-    Adjacency& a = adj_[edges[starts[g]].src];
-    for (size_t i = starts[g]; i < starts[g + 1]; ++i) {
-      local += InsertIntoVertex(a, edges[i].dst);
+    Adjacency& a = adj_[pb.group_source(g)];
+    for (size_t i = pb.group_begin(g); i < pb.group_end(g); ++i) {
+      local += InsertIntoVertex(a, pb.edges[i].dst);
     }
     added.fetch_add(local, std::memory_order_relaxed);
   });
@@ -103,15 +87,17 @@ size_t SortledtonGraph::InsertBatch(std::span<const Edge> batch) {
 }
 
 size_t SortledtonGraph::DeleteBatch(std::span<const Edge> batch) {
-  std::vector<Edge> edges(batch.begin(), batch.end());
-  std::vector<size_t> starts = GroupBySource(edges);
-  size_t groups = starts.empty() ? 0 : starts.size() - 1;
+  return DeletePrepared(
+      PrepareBatch(std::vector<Edge>(batch.begin(), batch.end()), pool()));
+}
+
+size_t SortledtonGraph::DeletePrepared(const PreparedBatch& pb) {
   std::atomic<size_t> removed{0};
-  pool().ParallelFor(0, groups, [&](size_t g) {
+  ForEachGroupLargestFirst(pb, pool(), [&](size_t g) {
     size_t local = 0;
-    Adjacency& a = adj_[edges[starts[g]].src];
-    for (size_t i = starts[g]; i < starts[g + 1]; ++i) {
-      local += DeleteFromVertex(a, edges[i].dst);
+    Adjacency& a = adj_[pb.group_source(g)];
+    for (size_t i = pb.group_begin(g); i < pb.group_end(g); ++i) {
+      local += DeleteFromVertex(a, pb.edges[i].dst);
     }
     removed.fetch_add(local, std::memory_order_relaxed);
   });

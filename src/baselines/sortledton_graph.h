@@ -15,6 +15,7 @@
 #include "src/parallel/thread_pool.h"
 #include "src/skiplist/block_skip_list.h"
 #include "src/util/graph_types.h"
+#include "src/util/sort.h"
 
 namespace lsg {
 
@@ -33,6 +34,10 @@ class SortledtonGraph {
   void BuildFromEdges(std::vector<Edge> edges);
   size_t InsertBatch(std::span<const Edge> batch);
   size_t DeleteBatch(std::span<const Edge> batch);
+
+  // Apply phase only, for callers that already ran PrepareBatch.
+  size_t InsertPrepared(const PreparedBatch& pb);
+  size_t DeletePrepared(const PreparedBatch& pb);
 
   bool InsertEdge(VertexId src, VertexId dst) {
     if (InsertIntoVertex(adj_[src], dst)) {

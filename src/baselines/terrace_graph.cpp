@@ -57,26 +57,18 @@ void TerraceGraph::RebuildOffsets() const {
 }
 
 void TerraceGraph::BuildFromEdges(std::vector<Edge> edges) {
-  RadixSortEdges(edges);
-  DedupSortedEdges(edges);
+  PreparedBatch pb = PrepareBatch(std::move(edges), pool());
+  const std::vector<Edge>& sorted = pb.edges;
   // Inline and B-tree parts first (parallel per vertex), PMA tails second
   // (serial; the PMA is one shared array).
-  std::vector<size_t> starts;
-  for (size_t i = 0; i < edges.size(); ++i) {
-    if (i == 0 || edges[i].src != edges[i - 1].src) {
-      starts.push_back(i);
-    }
-  }
-  starts.push_back(edges.size());
-  size_t groups = starts.empty() ? 0 : starts.size() - 1;
-  pool().ParallelFor(0, groups, [&](size_t g) {
-    size_t begin = starts[g];
-    size_t end = starts[g + 1];
-    VertexBlock& vb = blocks_[edges[begin].src];
+  ForEachGroupLargestFirst(pb, pool(), [&](size_t g) {
+    size_t begin = pb.group_begin(g);
+    size_t end = pb.group_end(g);
+    VertexBlock& vb = blocks_[sorted[begin].src];
     size_t deg = end - begin;
     size_t inl = std::min<size_t>(deg, kInlineCap);
     for (size_t i = 0; i < inl; ++i) {
-      vb.inline_edges[i] = edges[begin + i].dst;
+      vb.inline_edges[i] = sorted[begin + i].dst;
     }
     vb.inline_count = static_cast<uint32_t>(inl);
     vb.degree = static_cast<uint32_t>(deg);
@@ -84,23 +76,24 @@ void TerraceGraph::BuildFromEdges(std::vector<Edge> edges) {
       std::vector<VertexId> tail;
       tail.reserve(deg - inl);
       for (size_t i = begin + inl; i < end; ++i) {
-        tail.push_back(edges[i].dst);
+        tail.push_back(sorted[i].dst);
       }
       vb.btree = new BTreeSet();
       vb.btree->BulkLoad(tail);
     }
   });
-  for (size_t g = 0; g < groups; ++g) {
-    VertexId v = edges[starts[g]].src;
+  for (size_t g = 0; g < pb.groups(); ++g) {
+    VertexId v = pb.group_source(g);
     const VertexBlock& vb = blocks_[v];
     if (vb.btree != nullptr || vb.degree <= vb.inline_count) {
       continue;
     }
-    for (size_t i = starts[g] + vb.inline_count; i < starts[g + 1]; ++i) {
-      pma_.Insert(PmaKey(v, edges[i].dst));
+    for (size_t i = pb.group_begin(g) + vb.inline_count; i < pb.group_end(g);
+         ++i) {
+      pma_.Insert(PmaKey(v, sorted[i].dst));
     }
   }
-  num_edges_ = edges.size();
+  num_edges_ = sorted.size();
   offsets_dirty_.store(true, std::memory_order_release);
 }
 
@@ -229,35 +222,29 @@ bool TerraceGraph::HasEdge(VertexId src, VertexId dst) const {
 }
 
 size_t TerraceGraph::InsertBatch(std::span<const Edge> batch) {
-  std::vector<Edge> edges(batch.begin(), batch.end());
-  RadixSortEdges(edges);
-  DedupSortedEdges(edges);
-  std::vector<size_t> starts;
-  for (size_t i = 0; i < edges.size(); ++i) {
-    if (i == 0 || edges[i].src != edges[i - 1].src) {
-      starts.push_back(i);
-    }
-  }
-  starts.push_back(edges.size());
-  size_t groups = starts.empty() ? 0 : starts.size() - 1;
+  return InsertPrepared(
+      PrepareBatch(std::vector<Edge>(batch.begin(), batch.end()), pool()));
+}
+
+size_t TerraceGraph::InsertPrepared(const PreparedBatch& pb) {
   std::atomic<size_t> added{0};
-  pool().ParallelFor(0, groups, [&](size_t g) {
+  ForEachGroupLargestFirst(pb, pool(), [&](size_t g) {
     size_t local = 0;
-    VertexId src = edges[starts[g]].src;
+    VertexId src = pb.group_source(g);
     VertexBlock& vb = blocks_[src];
-    for (size_t i = starts[g]; i < starts[g + 1]; ++i) {
+    for (size_t i = pb.group_begin(g); i < pb.group_end(g); ++i) {
       // Terrace's shared array forces all PMA-resident vertices through one
       // lock; B-tree vertices proceed independently.
       if (vb.btree != nullptr && vb.inline_count == kInlineCap &&
-          edges[i].dst > vb.inline_edges[kInlineCap - 1]) {
-        if (vb.btree->Insert(edges[i].dst)) {
+          pb.edges[i].dst > vb.inline_edges[kInlineCap - 1]) {
+        if (vb.btree->Insert(pb.edges[i].dst)) {
           ++vb.degree;
           ++local;
         }
         continue;
       }
       std::lock_guard<std::mutex> lock(pma_mu_);
-      local += InsertIntoVertex(vb, src, edges[i].dst);
+      local += InsertIntoVertex(vb, src, pb.edges[i].dst);
     }
     added.fetch_add(local, std::memory_order_relaxed);
   });
@@ -267,25 +254,19 @@ size_t TerraceGraph::InsertBatch(std::span<const Edge> batch) {
 }
 
 size_t TerraceGraph::DeleteBatch(std::span<const Edge> batch) {
-  std::vector<Edge> edges(batch.begin(), batch.end());
-  RadixSortEdges(edges);
-  DedupSortedEdges(edges);
-  std::vector<size_t> starts;
-  for (size_t i = 0; i < edges.size(); ++i) {
-    if (i == 0 || edges[i].src != edges[i - 1].src) {
-      starts.push_back(i);
-    }
-  }
-  starts.push_back(edges.size());
-  size_t groups = starts.empty() ? 0 : starts.size() - 1;
+  return DeletePrepared(
+      PrepareBatch(std::vector<Edge>(batch.begin(), batch.end()), pool()));
+}
+
+size_t TerraceGraph::DeletePrepared(const PreparedBatch& pb) {
   std::atomic<size_t> removed{0};
-  pool().ParallelFor(0, groups, [&](size_t g) {
+  ForEachGroupLargestFirst(pb, pool(), [&](size_t g) {
     size_t local = 0;
-    VertexId src = edges[starts[g]].src;
+    VertexId src = pb.group_source(g);
     VertexBlock& vb = blocks_[src];
-    for (size_t i = starts[g]; i < starts[g + 1]; ++i) {
+    for (size_t i = pb.group_begin(g); i < pb.group_end(g); ++i) {
       std::lock_guard<std::mutex> lock(pma_mu_);
-      local += DeleteFromVertex(vb, src, edges[i].dst);
+      local += DeleteFromVertex(vb, src, pb.edges[i].dst);
     }
     removed.fetch_add(local, std::memory_order_relaxed);
   });

@@ -24,6 +24,7 @@
 #include "src/pma/pma.h"
 #include "src/util/cache.h"
 #include "src/util/graph_types.h"
+#include "src/util/sort.h"
 
 namespace lsg {
 
@@ -60,6 +61,10 @@ class TerraceGraph {
   void BuildFromEdges(std::vector<Edge> edges);
   size_t InsertBatch(std::span<const Edge> batch);
   size_t DeleteBatch(std::span<const Edge> batch);
+
+  // Apply phase only, for callers that already ran PrepareBatch.
+  size_t InsertPrepared(const PreparedBatch& pb);
+  size_t DeletePrepared(const PreparedBatch& pb);
 
   bool InsertEdge(VertexId src, VertexId dst);
   bool DeleteEdge(VertexId src, VertexId dst);

@@ -184,10 +184,12 @@ bool BTreeSet::DeleteRec(Node* n, VertexId key) {
   if (!DeleteRec(child, key)) {
     return false;
   }
-  // Drop children that became completely empty; internal nodes keep at least
-  // one child so Map/Contains stay well-formed.
-  bool child_empty = child->is_leaf ? child->leaf.count == 0
-                                    : child->internal.count == 0;
+  // Drop children whose subtree became completely empty; internal nodes keep
+  // at least one child so Map/Contains stay well-formed. A single-child
+  // internal node can hide an empty leaf below it, so the test must look
+  // through chains, not just at the immediate child's count (otherwise the
+  // empty leaf stays reachable and First() would read a stale key).
+  bool child_empty = SubtreeEmpty(child);
   if (child_empty && in.count > 1) {
     FreeNode(child);
     std::copy(in.children + i + 1, in.children + in.count, in.children + i);
@@ -200,6 +202,19 @@ bool BTreeSet::DeleteRec(Node* n, VertexId key) {
     --in.count;
   }
   return true;
+}
+
+// An empty subtree left behind by deletions is always a chain of single-child
+// internal nodes ending in an empty leaf: multi-child nodes prune empty
+// children eagerly, so a linear walk down the chain suffices.
+bool BTreeSet::SubtreeEmpty(const Node* n) {
+  while (!n->is_leaf) {
+    if (n->internal.count != 1) {
+      return n->internal.count == 0;
+    }
+    n = n->internal.children[0];
+  }
+  return n->leaf.count == 0;
 }
 
 bool BTreeSet::Delete(VertexId key) {

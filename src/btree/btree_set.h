@@ -97,6 +97,7 @@ class BTreeSet {
 
   InsertResult InsertRec(Node* n, VertexId key);
   bool DeleteRec(Node* n, VertexId key);
+  static bool SubtreeEmpty(const Node* n);
 
   template <typename F>
   static void MapNode(const Node* n, F& f) {

@@ -30,12 +30,20 @@ class VertexSubset {
     return s;
   }
 
-  static VertexSubset All(VertexId universe) {
+  // Dense frontier over the whole vertex set. Built in parallel: this runs
+  // before every dense traversal, and a serial O(V) push_back loop shows up
+  // at the front of each of them.
+  static VertexSubset All(VertexId universe, ThreadPool* pool = nullptr) {
     VertexSubset s(universe);
-    s.vertices_.reserve(universe);
-    for (VertexId v = 0; v < universe; ++v) {
-      s.vertices_.push_back(v);
-    }
+    s.vertices_.resize(universe);
+    VertexId* out = s.vertices_.data();
+    ThreadPool& p = pool != nullptr ? *pool : ThreadPool::Global();
+    p.ParallelForChunked(0, universe,
+                         [out](size_t lo, size_t hi, size_t /*tid*/) {
+                           for (size_t v = lo; v < hi; ++v) {
+                             out[v] = static_cast<VertexId>(v);
+                           }
+                         });
     return s;
   }
 
@@ -50,6 +58,28 @@ class VertexSubset {
   VertexId universe_;
   std::vector<VertexId> vertices_;
 };
+
+namespace edgemap_internal {
+
+// Concatenates per-thread output partitions into `out`: prefix offsets,
+// then each partition copied in parallel into its slice of the pre-sized
+// result (replacing the old serial append loop).
+inline void ConcatParts(const std::vector<std::vector<VertexId>>& parts,
+                        std::vector<VertexId>* out, ThreadPool& pool) {
+  size_t nparts = parts.size();
+  std::vector<size_t> offsets(nparts + 1, 0);
+  for (size_t t = 0; t < nparts; ++t) {
+    offsets[t + 1] = offsets[t] + parts[t].size();
+  }
+  out->resize(offsets[nparts]);
+  VertexId* dst = out->data();
+  pool.ParallelFor(
+      0, nparts,
+      [&](size_t t) { std::copy(parts[t].begin(), parts[t].end(), dst + offsets[t]); },
+      1);
+}
+
+}  // namespace edgemap_internal
 
 // Applies update(u, v) over every edge (u, v) with u in `frontier` and
 // cond(v) true. A vertex v enters the returned frontier at most once, when
@@ -74,15 +104,7 @@ VertexSubset EdgeMap(const G& g, const VertexSubset& frontier, UpdateF update,
         }
       });
   VertexSubset result(frontier.universe());
-  size_t total = 0;
-  for (const auto& part : next) {
-    total += part.size();
-  }
-  result.mutable_vertices().reserve(total);
-  for (const auto& part : next) {
-    result.mutable_vertices().insert(result.mutable_vertices().end(),
-                                     part.begin(), part.end());
-  }
+  edgemap_internal::ConcatParts(next, &result.mutable_vertices(), pool);
   return result;
 }
 
@@ -115,10 +137,7 @@ VertexSubset EdgeMapPull(const G& g, const AtomicBitset& in_frontier,
     }
   });
   VertexSubset result(n);
-  for (const auto& part : next) {
-    result.mutable_vertices().insert(result.mutable_vertices().end(),
-                                     part.begin(), part.end());
-  }
+  edgemap_internal::ConcatParts(next, &result.mutable_vertices(), pool);
   return result;
 }
 
@@ -138,10 +157,7 @@ VertexSubset VertexMap(const VertexSubset& frontier, F&& f, ThreadPool& pool) {
                             }
                           });
   VertexSubset result(frontier.universe());
-  for (const auto& part : kept) {
-    result.mutable_vertices().insert(result.mutable_vertices().end(),
-                                     part.begin(), part.end());
-  }
+  edgemap_internal::ConcatParts(kept, &result.mutable_vertices(), pool);
   return result;
 }
 

@@ -25,26 +25,17 @@ ThreadPool& LSGraph::pool() const {
 }
 
 void LSGraph::BuildFromEdges(std::vector<Edge> edges) {
-  RadixSortEdges(edges);
-  DedupSortedEdges(edges);
-  // Group boundaries: starts[i] is the first edge of the i-th vertex group.
-  std::vector<size_t> starts;
-  for (size_t i = 0; i < edges.size(); ++i) {
-    if (i == 0 || edges[i].src != edges[i - 1].src) {
-      starts.push_back(i);
-    }
-  }
-  starts.push_back(edges.size());
-  size_t groups = starts.empty() ? 0 : starts.size() - 1;
-  pool().ParallelFor(0, groups, [&](size_t g) {
-    size_t begin = starts[g];
-    size_t end = starts[g + 1];
-    VertexId v = edges[begin].src;
+  PreparedBatch pb = PrepareBatch(std::move(edges), pool());
+  const std::vector<Edge>& sorted = pb.edges;
+  ForEachGroupLargestFirst(pb, pool(), [&](size_t g) {
+    size_t begin = pb.group_begin(g);
+    size_t end = pb.group_end(g);
+    VertexId v = sorted[begin].src;
     VertexBlock& vb = blocks_[v];
     size_t deg = end - begin;
     size_t inl = std::min<size_t>(deg, kInlineCap);
     for (size_t i = 0; i < inl; ++i) {
-      vb.inline_edges[i] = edges[begin + i].dst;
+      vb.inline_edges[i] = sorted[begin + i].dst;
     }
     vb.inline_count = static_cast<uint32_t>(inl);
     vb.degree = static_cast<uint32_t>(deg);
@@ -52,13 +43,13 @@ void LSGraph::BuildFromEdges(std::vector<Edge> edges) {
       std::vector<VertexId> tail_ids;
       tail_ids.reserve(deg - inl);
       for (size_t i = begin + inl; i < end; ++i) {
-        tail_ids.push_back(edges[i].dst);
+        tail_ids.push_back(sorted[i].dst);
       }
       vb.tail = new HiNode(options_);
       vb.tail->BulkLoad(tail_ids);
     }
   });
-  num_edges_ = edges.size();
+  num_edges_ = sorted.size();
 }
 
 bool LSGraph::InsertIntoVertex(VertexBlock& vb, VertexId dst) {
@@ -153,34 +144,18 @@ bool LSGraph::HasEdge(VertexId src, VertexId dst) const {
   return vb.tail != nullptr && vb.tail->Contains(dst);
 }
 
-namespace {
-
-// Sorts a batch and returns per-source-vertex group boundaries.
-std::vector<size_t> GroupBySource(std::vector<Edge>& batch) {
-  RadixSortEdges(batch);
-  DedupSortedEdges(batch);
-  std::vector<size_t> starts;
-  for (size_t i = 0; i < batch.size(); ++i) {
-    if (i == 0 || batch[i].src != batch[i - 1].src) {
-      starts.push_back(i);
-    }
-  }
-  starts.push_back(batch.size());
-  return starts;
+size_t LSGraph::InsertBatch(std::span<const Edge> batch) {
+  return InsertPrepared(
+      PrepareBatch(std::vector<Edge>(batch.begin(), batch.end()), pool()));
 }
 
-}  // namespace
-
-size_t LSGraph::InsertBatch(std::span<const Edge> batch) {
-  std::vector<Edge> edges(batch.begin(), batch.end());
-  std::vector<size_t> starts = GroupBySource(edges);
-  size_t groups = starts.empty() ? 0 : starts.size() - 1;
+size_t LSGraph::InsertPrepared(const PreparedBatch& pb) {
   std::atomic<size_t> added{0};
-  pool().ParallelFor(0, groups, [&](size_t g) {
+  ForEachGroupLargestFirst(pb, pool(), [&](size_t g) {
     size_t local = 0;
-    VertexBlock& vb = blocks_[edges[starts[g]].src];
-    for (size_t i = starts[g]; i < starts[g + 1]; ++i) {
-      local += InsertIntoVertex(vb, edges[i].dst);
+    VertexBlock& vb = blocks_[pb.group_source(g)];
+    for (size_t i = pb.group_begin(g); i < pb.group_end(g); ++i) {
+      local += InsertIntoVertex(vb, pb.edges[i].dst);
     }
     added.fetch_add(local, std::memory_order_relaxed);
   });
@@ -189,15 +164,17 @@ size_t LSGraph::InsertBatch(std::span<const Edge> batch) {
 }
 
 size_t LSGraph::DeleteBatch(std::span<const Edge> batch) {
-  std::vector<Edge> edges(batch.begin(), batch.end());
-  std::vector<size_t> starts = GroupBySource(edges);
-  size_t groups = starts.empty() ? 0 : starts.size() - 1;
+  return DeletePrepared(
+      PrepareBatch(std::vector<Edge>(batch.begin(), batch.end()), pool()));
+}
+
+size_t LSGraph::DeletePrepared(const PreparedBatch& pb) {
   std::atomic<size_t> removed{0};
-  pool().ParallelFor(0, groups, [&](size_t g) {
+  ForEachGroupLargestFirst(pb, pool(), [&](size_t g) {
     size_t local = 0;
-    VertexBlock& vb = blocks_[edges[starts[g]].src];
-    for (size_t i = starts[g]; i < starts[g + 1]; ++i) {
-      local += DeleteFromVertex(vb, edges[i].dst);
+    VertexBlock& vb = blocks_[pb.group_source(g)];
+    for (size_t i = pb.group_begin(g); i < pb.group_end(g); ++i) {
+      local += DeleteFromVertex(vb, pb.edges[i].dst);
     }
     removed.fetch_add(local, std::memory_order_relaxed);
   });

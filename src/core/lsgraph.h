@@ -21,6 +21,7 @@
 #include "src/parallel/thread_pool.h"
 #include "src/util/cache.h"
 #include "src/util/graph_types.h"
+#include "src/util/sort.h"
 
 namespace lsg {
 
@@ -51,10 +52,16 @@ class LSGraph {
     return first;
   }
 
-  // Batched streaming updates (§5): sort, group by source, one vertex per
-  // thread. Returns the number of edges actually added / removed.
+  // Batched streaming updates (§5): parallel sort + fused dedup/grouping
+  // (PrepareBatch), then one vertex group per thread, largest group first.
+  // Returns the number of edges actually added / removed.
   size_t InsertBatch(std::span<const Edge> batch);
   size_t DeleteBatch(std::span<const Edge> batch);
+
+  // Apply phase only, for callers that already ran PrepareBatch (the
+  // benchmark phase breakdown times prepare and apply separately).
+  size_t InsertPrepared(const PreparedBatch& pb);
+  size_t DeletePrepared(const PreparedBatch& pb);
 
   // Single-edge operations (serial).
   bool InsertEdge(VertexId src, VertexId dst);

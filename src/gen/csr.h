@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "src/parallel/thread_pool.h"
 #include "src/util/graph_types.h"
 #include "src/util/sort.h"
 
@@ -19,21 +20,31 @@ class Csr {
  public:
   Csr() = default;
 
-  // Builds from an edge list; sorts and deduplicates internally.
-  static Csr FromEdges(VertexId num_vertices, std::vector<Edge> edges) {
-    RadixSortEdges(edges);
-    DedupSortedEdges(edges);
+  // Builds from an edge list; sorts and deduplicates internally via the
+  // shared parallel ingestion pipeline (group boundaries give each vertex's
+  // degree without a counting pass).
+  static Csr FromEdges(VertexId num_vertices, std::vector<Edge> edges,
+                       ThreadPool* pool = nullptr) {
+    ThreadPool& p = pool != nullptr ? *pool : ThreadPool::Global();
+    PreparedBatch pb = PrepareBatch(std::move(edges), p);
     Csr csr;
     csr.offsets_.assign(num_vertices + 1, 0);
-    csr.targets_.reserve(edges.size());
-    for (const Edge& e : edges) {
-      assert(e.src < num_vertices && e.dst < num_vertices);
-      ++csr.offsets_[e.src + 1];
-      csr.targets_.push_back(e.dst);
-    }
+    p.ParallelFor(0, pb.groups(), [&](size_t g) {
+      VertexId src = pb.group_source(g);
+      assert(src < num_vertices);
+      csr.offsets_[src + 1] = pb.group_end(g) - pb.group_begin(g);
+    });
     for (VertexId v = 0; v < num_vertices; ++v) {
       csr.offsets_[v + 1] += csr.offsets_[v];
     }
+    csr.targets_.resize(pb.edges.size());
+    p.ParallelForChunked(0, pb.edges.size(),
+                         [&](size_t lo, size_t hi, size_t /*tid*/) {
+                           for (size_t i = lo; i < hi; ++i) {
+                             assert(pb.edges[i].dst < num_vertices);
+                             csr.targets_[i] = pb.edges[i].dst;
+                           }
+                         });
     return csr;
   }
 

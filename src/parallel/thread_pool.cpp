@@ -30,11 +30,12 @@ ThreadPool& ThreadPool::Global() {
   return pool;
 }
 
-void ThreadPool::RunJob(size_t begin, size_t end, size_t grain,
-                        const std::function<void(size_t, size_t, size_t)>& body) {
+void ThreadPool::RunJob(size_t begin, size_t end, size_t grain, JobFn fn,
+                        void* ctx) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    job_body_ = &body;
+    job_fn_ = fn;
+    job_ctx_ = ctx;
     job_end_ = end;
     job_grain_ = grain;
     next_index_.store(begin, std::memory_order_relaxed);
@@ -50,7 +51,8 @@ void ThreadPool::RunJob(size_t begin, size_t end, size_t grain,
   job_done_.wait(lock, [this] {
     return workers_active_.load(std::memory_order_acquire) == 0;
   });
-  job_body_ = nullptr;
+  job_fn_ = nullptr;
+  job_ctx_ = nullptr;
 }
 
 void ThreadPool::WorkerLoop(size_t tid) {
@@ -77,7 +79,8 @@ void ThreadPool::WorkerLoop(size_t tid) {
 }
 
 void ThreadPool::ExecuteChunks(size_t tid) {
-  const auto* body = job_body_;
+  JobFn fn = job_fn_;
+  void* ctx = job_ctx_;
   size_t end = job_end_;
   size_t grain = job_grain_;
   for (;;) {
@@ -86,7 +89,7 @@ void ThreadPool::ExecuteChunks(size_t tid) {
       return;
     }
     size_t hi = std::min(end, lo + grain);
-    (*body)(lo, hi, tid);
+    fn(ctx, lo, hi, tid);
   }
 }
 

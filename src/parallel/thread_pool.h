@@ -10,9 +10,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace lsg {
@@ -49,6 +50,11 @@ class ThreadPool {
 
   // Runs f(chunk_begin, chunk_end, thread_id) over a partition of
   // [begin, end). thread_id is in [0, num_threads()).
+  //
+  // The callable is routed through a type-erased pointer + trampoline
+  // instead of a std::function, so hot loops (EdgeMap, batch apply) pay no
+  // per-call heap allocation. The callable outlives the job: RunJob blocks
+  // until every chunk has executed.
   template <typename F>
   void ParallelForChunked(size_t begin, size_t end, F&& f, size_t grain = 0) {
     if (begin >= end) {
@@ -62,13 +68,21 @@ class ThreadPool {
     if (grain == 0) {
       grain = std::max<size_t>(1, n / (num_threads_ * 8));
     }
-    std::function<void(size_t, size_t, size_t)> body = f;
-    RunJob(begin, end, grain, body);
+    RunJob(begin, end, grain, &Trampoline<std::remove_reference_t<F>>,
+           const_cast<void*>(
+               static_cast<const void*>(std::addressof(f))));
   }
 
  private:
-  void RunJob(size_t begin, size_t end, size_t grain,
-              const std::function<void(size_t, size_t, size_t)>& body);
+  // Type-erased job body: fn(ctx, chunk_begin, chunk_end, thread_id).
+  using JobFn = void (*)(void* ctx, size_t lo, size_t hi, size_t tid);
+
+  template <typename F>
+  static void Trampoline(void* ctx, size_t lo, size_t hi, size_t tid) {
+    (*static_cast<F*>(ctx))(lo, hi, tid);
+  }
+
+  void RunJob(size_t begin, size_t end, size_t grain, JobFn fn, void* ctx);
   void WorkerLoop(size_t tid);
   void ExecuteChunks(size_t tid);
 
@@ -82,7 +96,8 @@ class ThreadPool {
   bool shutting_down_ = false;
 
   // Current job state (valid while workers_active_ > 0).
-  const std::function<void(size_t, size_t, size_t)>* job_body_ = nullptr;
+  JobFn job_fn_ = nullptr;
+  void* job_ctx_ = nullptr;
   size_t job_end_ = 0;
   size_t job_grain_ = 1;
   std::atomic<size_t> next_index_{0};

@@ -103,6 +103,45 @@ TEST(BTreeTest, MemoryFootprintGrowsWithContent) {
   EXPECT_GT(t.memory_footprint(), empty_bytes + 10000 * sizeof(VertexId) / 2);
 }
 
+// Regression: ascending deletion hollows out the leftmost leaves. The empty
+// leaf can survive under a chain of single-child internal nodes, in which
+// case First() reads a stale key from it and Delete(First()) fails.
+TEST(BTreeTest, FirstStaysFreshUnderAscendingDeletes) {
+  BTreeSet t;
+  constexpr VertexId kN = 5000;
+  for (VertexId k = 0; k < kN; ++k) {
+    t.Insert(k);
+  }
+  for (VertexId k = 0; k + 1 < kN; ++k) {
+    ASSERT_TRUE(t.Delete(k));
+    ASSERT_EQ(t.First(), k + 1) << "stale key after deleting " << k;
+    ASSERT_TRUE(t.Contains(t.First()));
+  }
+  EXPECT_TRUE(t.Delete(kN - 1));
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.CheckInvariants());
+}
+
+// Same shape via the min-extraction pattern Terrace's backfill uses: every
+// First() must be deletable.
+TEST(BTreeTest, ExtractMinDrainsCompletely) {
+  BTreeSet t;
+  std::set<VertexId> oracle;
+  SplitMix64 rng(99);
+  for (int i = 0; i < 4000; ++i) {
+    VertexId k = static_cast<VertexId>(rng.NextBounded(1u << 20));
+    t.Insert(k);
+    oracle.insert(k);
+  }
+  while (!oracle.empty()) {
+    VertexId min = t.First();
+    ASSERT_EQ(min, *oracle.begin());
+    ASSERT_TRUE(t.Delete(min));
+    oracle.erase(oracle.begin());
+  }
+  EXPECT_EQ(t.size(), 0u);
+}
+
 class BTreeOracleTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(BTreeOracleTest, RandomizedAgainstStdSet) {
