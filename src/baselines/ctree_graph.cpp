@@ -8,8 +8,13 @@ namespace lsg {
 
 CTreeGraph::CTreeGraph(VertexId num_vertices, uint32_t expected_chunk_size,
                        ThreadPool* pool)
-    : vtree_(num_vertices, VNode{0, CTree(expected_chunk_size)}),
+    : chunk_size_(expected_chunk_size),
+      vtree_(num_vertices, VNode{0, CTree(expected_chunk_size)}),
       pool_(pool) {
+  AssignIdsInOrder();
+}
+
+void CTreeGraph::AssignIdsInOrder() {
   // In-order traversal of the implicit tree assigns sorted vertex ids, so
   // FindSlot's BST walk terminates at the right node.
   VertexId next = 0;
@@ -29,11 +34,40 @@ CTreeGraph::CTreeGraph(VertexId num_vertices, uint32_t expected_chunk_size,
   }
 }
 
+VertexId CTreeGraph::AddVertices(VertexId count) {
+  const VertexId old_n = num_vertices();
+  if (count == 0) {
+    return old_n;
+  }
+  // Growing the Eytzinger array reshuffles which slot holds which id, so
+  // park the edge trees by id, relabel, and re-home them.
+  std::vector<CTree> by_id(old_n, CTree(chunk_size_));
+  for (VNode& node : vtree_) {
+    by_id[node.id] = std::move(node.tree);
+  }
+  vtree_.assign(old_n + count, VNode{0, CTree(chunk_size_)});
+  AssignIdsInOrder();
+  for (VNode& node : vtree_) {
+    if (node.id < old_n) {
+      node.tree = std::move(by_id[node.id]);
+    }
+  }
+  return old_n;
+}
+
 ThreadPool& CTreeGraph::pool() const {
   return pool_ != nullptr ? *pool_ : ThreadPool::Global();
 }
 
 void CTreeGraph::BuildFromEdges(std::vector<Edge> edges) {
+  // Rebuild-in-place: clear every existing edge tree first, so vertices
+  // absent from the new list end up empty instead of keeping stale
+  // adjacency.
+  pool().ParallelFor(0, vtree_.size(),
+                     [this](size_t i) { vtree_[i].tree.BulkLoad({}); });
+  num_edges_ = 0;
+  oob_rejected_.fetch_add(RemoveOutOfRangeEdges(&edges, num_vertices()),
+                          std::memory_order_relaxed);
   PreparedBatch pb = PrepareBatch(std::move(edges), pool());
   ForEachGroupLargestFirst(pb, pool(), [&](size_t g) {
     size_t begin = pb.group_begin(g);
@@ -55,11 +89,26 @@ size_t CTreeGraph::InsertBatch(std::span<const Edge> batch) {
 
 size_t CTreeGraph::InsertPrepared(const PreparedBatch& pb) {
   std::atomic<size_t> added{0};
+  const VertexId n = num_vertices();
   ForEachGroupLargestFirst(pb, pool(), [&](size_t g) {
+    VertexId src = pb.group_source(g);
+    if (src >= n) {
+      oob_rejected_.fetch_add(pb.group_end(g) - pb.group_begin(g),
+                              std::memory_order_relaxed);
+      return;
+    }
     size_t local = 0;
-    CTree& tree = FindTree(pb.group_source(g));
+    size_t oob = 0;
+    CTree& tree = FindTree(src);
     for (size_t i = pb.group_begin(g); i < pb.group_end(g); ++i) {
+      if (pb.edges[i].dst >= n) {
+        ++oob;
+        continue;
+      }
       local += tree.Insert(pb.edges[i].dst);
+    }
+    if (oob != 0) {
+      oob_rejected_.fetch_add(oob, std::memory_order_relaxed);
     }
     added.fetch_add(local, std::memory_order_relaxed);
   });
@@ -74,11 +123,26 @@ size_t CTreeGraph::DeleteBatch(std::span<const Edge> batch) {
 
 size_t CTreeGraph::DeletePrepared(const PreparedBatch& pb) {
   std::atomic<size_t> removed{0};
+  const VertexId n = num_vertices();
   ForEachGroupLargestFirst(pb, pool(), [&](size_t g) {
+    VertexId src = pb.group_source(g);
+    if (src >= n) {
+      oob_rejected_.fetch_add(pb.group_end(g) - pb.group_begin(g),
+                              std::memory_order_relaxed);
+      return;
+    }
     size_t local = 0;
-    CTree& tree = FindTree(pb.group_source(g));
+    size_t oob = 0;
+    CTree& tree = FindTree(src);
     for (size_t i = pb.group_begin(g); i < pb.group_end(g); ++i) {
+      if (pb.edges[i].dst >= n) {
+        ++oob;
+        continue;
+      }
       local += tree.Delete(pb.edges[i].dst);
+    }
+    if (oob != 0) {
+      oob_rejected_.fetch_add(oob, std::memory_order_relaxed);
     }
     removed.fetch_add(local, std::memory_order_relaxed);
   });
@@ -87,6 +151,10 @@ size_t CTreeGraph::DeletePrepared(const PreparedBatch& pb) {
 }
 
 bool CTreeGraph::InsertEdge(VertexId src, VertexId dst) {
+  if (src >= num_vertices() || dst >= num_vertices()) {
+    oob_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   if (FindTree(src).Insert(dst)) {
     ++num_edges_;
     return true;
@@ -95,6 +163,10 @@ bool CTreeGraph::InsertEdge(VertexId src, VertexId dst) {
 }
 
 bool CTreeGraph::DeleteEdge(VertexId src, VertexId dst) {
+  if (src >= num_vertices() || dst >= num_vertices()) {
+    oob_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   if (FindTree(src).Delete(dst)) {
     --num_edges_;
     return true;

@@ -19,6 +19,7 @@
 #ifndef SRC_BASELINES_CTREE_GRAPH_H_
 #define SRC_BASELINES_CTREE_GRAPH_H_
 
+#include <atomic>
 #include <span>
 #include <vector>
 
@@ -37,7 +38,17 @@ class CTreeGraph {
   CTreeGraph(const CTreeGraph&) = delete;
   CTreeGraph& operator=(const CTreeGraph&) = delete;
 
+  // Invoked on a non-empty engine this rebuilds in place: every existing
+  // edge tree is cleared first, so vertices absent from the new list end
+  // up empty.
   void BuildFromEdges(std::vector<Edge> edges);
+
+  // Grows the vertex set by `count` ids; returns the first new id. The
+  // Eytzinger vertex tree is laid out by size, so growth re-derives the
+  // in-order id assignment and re-homes the existing edge trees. Not
+  // concurrent with updates or analytics.
+  VertexId AddVertices(VertexId count);
+
   size_t InsertBatch(std::span<const Edge> batch);
   size_t DeleteBatch(std::span<const Edge> batch);
 
@@ -54,6 +65,9 @@ class CTreeGraph {
   bool InsertEdge(VertexId src, VertexId dst);
   bool DeleteEdge(VertexId src, VertexId dst);
   bool HasEdge(VertexId src, VertexId dst) const {
+    if (src >= num_vertices() || dst >= num_vertices()) {
+      return false;
+    }
     return FindTree(src).Contains(dst);
   }
 
@@ -64,6 +78,12 @@ class CTreeGraph {
   template <typename F>
   void map_neighbors(VertexId v, F&& f) const {
     FindTree(v).Map(f);
+  }
+
+  // Out-of-range endpoints rejected (counted and skipped) by update paths;
+  // see DESIGN.md "Endpoint validation".
+  uint64_t oob_rejected() const {
+    return oob_rejected_.load(std::memory_order_relaxed);
   }
 
   size_t memory_footprint() const;
@@ -79,7 +99,15 @@ class CTreeGraph {
   // Snapshot constructor: copies the vertex array; edge trees share nodes.
   struct PrivateTag {};
   CTreeGraph(const CTreeGraph& o, PrivateTag)
-      : vtree_(o.vtree_), num_edges_(o.num_edges_), pool_(o.pool_) {}
+      : chunk_size_(o.chunk_size_),
+        vtree_(o.vtree_),
+        num_edges_(o.num_edges_),
+        pool_(o.pool_),
+        oob_rejected_(o.oob_rejected_.load(std::memory_order_relaxed)) {}
+
+  // Writes the sorted ids 0..size-1 into vtree_ via an in-order walk of the
+  // implicit Eytzinger tree (ctor and AddVertices share this).
+  void AssignIdsInOrder();
 
   ThreadPool& pool() const;
 
@@ -97,9 +125,11 @@ class CTreeGraph {
     }
   }
 
+  uint32_t chunk_size_ = 0;
   std::vector<VNode> vtree_;  // BST over vertex ids, Eytzinger layout
   EdgeCount num_edges_ = 0;
   ThreadPool* pool_ = nullptr;
+  std::atomic<uint64_t> oob_rejected_{0};
 };
 
 // Aspen: small randomized chunks at every node.

@@ -38,6 +38,9 @@ bool SortledtonGraph::DeleteFromVertex(Adjacency& a, VertexId dst) {
 }
 
 bool SortledtonGraph::HasEdge(VertexId src, VertexId dst) const {
+  if (src >= num_vertices() || dst >= num_vertices()) {
+    return false;
+  }
   const Adjacency& a = adj_[src];
   if (a.big != nullptr) {
     return a.big->Contains(dst);
@@ -46,6 +49,16 @@ bool SortledtonGraph::HasEdge(VertexId src, VertexId dst) const {
 }
 
 void SortledtonGraph::BuildFromEdges(std::vector<Edge> edges) {
+  // Rebuild-in-place: release every existing neighborhood first, so
+  // vertices absent from the new list end up empty.
+  pool().ParallelFor(0, adj_.size(), [this](size_t v) {
+    adj_[v].small.clear();
+    adj_[v].small.shrink_to_fit();
+    adj_[v].big.reset();
+  });
+  num_edges_ = 0;
+  oob_rejected_.fetch_add(RemoveOutOfRangeEdges(&edges, num_vertices()),
+                          std::memory_order_relaxed);
   PreparedBatch pb = PrepareBatch(std::move(edges), pool());
   ForEachGroupLargestFirst(pb, pool(), [&](size_t g) {
     size_t begin = pb.group_begin(g);
@@ -74,11 +87,26 @@ size_t SortledtonGraph::InsertBatch(std::span<const Edge> batch) {
 
 size_t SortledtonGraph::InsertPrepared(const PreparedBatch& pb) {
   std::atomic<size_t> added{0};
+  const VertexId n = num_vertices();
   ForEachGroupLargestFirst(pb, pool(), [&](size_t g) {
+    VertexId src = pb.group_source(g);
+    if (src >= n) {
+      oob_rejected_.fetch_add(pb.group_end(g) - pb.group_begin(g),
+                              std::memory_order_relaxed);
+      return;
+    }
     size_t local = 0;
-    Adjacency& a = adj_[pb.group_source(g)];
+    size_t oob = 0;
+    Adjacency& a = adj_[src];
     for (size_t i = pb.group_begin(g); i < pb.group_end(g); ++i) {
+      if (pb.edges[i].dst >= n) {
+        ++oob;
+        continue;
+      }
       local += InsertIntoVertex(a, pb.edges[i].dst);
+    }
+    if (oob != 0) {
+      oob_rejected_.fetch_add(oob, std::memory_order_relaxed);
     }
     added.fetch_add(local, std::memory_order_relaxed);
   });
@@ -93,11 +121,26 @@ size_t SortledtonGraph::DeleteBatch(std::span<const Edge> batch) {
 
 size_t SortledtonGraph::DeletePrepared(const PreparedBatch& pb) {
   std::atomic<size_t> removed{0};
+  const VertexId n = num_vertices();
   ForEachGroupLargestFirst(pb, pool(), [&](size_t g) {
+    VertexId src = pb.group_source(g);
+    if (src >= n) {
+      oob_rejected_.fetch_add(pb.group_end(g) - pb.group_begin(g),
+                              std::memory_order_relaxed);
+      return;
+    }
     size_t local = 0;
-    Adjacency& a = adj_[pb.group_source(g)];
+    size_t oob = 0;
+    Adjacency& a = adj_[src];
     for (size_t i = pb.group_begin(g); i < pb.group_end(g); ++i) {
+      if (pb.edges[i].dst >= n) {
+        ++oob;
+        continue;
+      }
       local += DeleteFromVertex(a, pb.edges[i].dst);
+    }
+    if (oob != 0) {
+      oob_rejected_.fetch_add(oob, std::memory_order_relaxed);
     }
     removed.fetch_add(local, std::memory_order_relaxed);
   });

@@ -8,6 +8,7 @@
 #ifndef SRC_BASELINES_SORTLEDTON_GRAPH_H_
 #define SRC_BASELINES_SORTLEDTON_GRAPH_H_
 
+#include <atomic>
 #include <memory>
 #include <span>
 #include <vector>
@@ -31,7 +32,18 @@ class SortledtonGraph {
   SortledtonGraph(const SortledtonGraph&) = delete;
   SortledtonGraph& operator=(const SortledtonGraph&) = delete;
 
+  // Invoked on a non-empty engine this rebuilds in place: every existing
+  // neighborhood (vector or skip list) is released first.
   void BuildFromEdges(std::vector<Edge> edges);
+
+  // Grows the vertex set by `count` ids; returns the first new id. Not
+  // concurrent with updates or analytics.
+  VertexId AddVertices(VertexId count) {
+    VertexId first = num_vertices();
+    adj_.resize(adj_.size() + count);
+    return first;
+  }
+
   size_t InsertBatch(std::span<const Edge> batch);
   size_t DeleteBatch(std::span<const Edge> batch);
 
@@ -40,6 +52,10 @@ class SortledtonGraph {
   size_t DeletePrepared(const PreparedBatch& pb);
 
   bool InsertEdge(VertexId src, VertexId dst) {
+    if (src >= num_vertices() || dst >= num_vertices()) {
+      oob_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
     if (InsertIntoVertex(adj_[src], dst)) {
       ++num_edges_;
       return true;
@@ -47,6 +63,10 @@ class SortledtonGraph {
     return false;
   }
   bool DeleteEdge(VertexId src, VertexId dst) {
+    if (src >= num_vertices() || dst >= num_vertices()) {
+      oob_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
     if (DeleteFromVertex(adj_[src], dst)) {
       --num_edges_;
       return true;
@@ -54,6 +74,12 @@ class SortledtonGraph {
     return false;
   }
   bool HasEdge(VertexId src, VertexId dst) const;
+
+  // Out-of-range endpoints rejected (counted and skipped) by update paths;
+  // see DESIGN.md "Endpoint validation".
+  uint64_t oob_rejected() const {
+    return oob_rejected_.load(std::memory_order_relaxed);
+  }
 
   VertexId num_vertices() const { return static_cast<VertexId>(adj_.size()); }
   EdgeCount num_edges() const { return num_edges_; }
@@ -93,6 +119,7 @@ class SortledtonGraph {
   std::vector<Adjacency> adj_;
   EdgeCount num_edges_ = 0;
   ThreadPool* pool_ = nullptr;
+  std::atomic<uint64_t> oob_rejected_{0};
 };
 
 }  // namespace lsg

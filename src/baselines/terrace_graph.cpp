@@ -57,6 +57,16 @@ void TerraceGraph::RebuildOffsets() const {
 }
 
 void TerraceGraph::BuildFromEdges(std::vector<Edge> edges) {
+  // Rebuild-in-place: release every B-tree, reset the shared PMA, and clear
+  // inline runs so vertices absent from the new edge list end up empty.
+  for (VertexBlock& vb : blocks_) {
+    delete vb.btree;
+    vb = VertexBlock{};
+  }
+  pma_ = Pma(options_.pma);
+  num_edges_ = 0;
+  oob_rejected_.fetch_add(RemoveOutOfRangeEdges(&edges, num_vertices()),
+                          std::memory_order_relaxed);
   PreparedBatch pb = PrepareBatch(std::move(edges), pool());
   const std::vector<Edge>& sorted = pb.edges;
   // Inline and B-tree parts first (parallel per vertex), PMA tails second
@@ -190,6 +200,10 @@ bool TerraceGraph::DeleteFromVertex(VertexBlock& vb, VertexId src,
 }
 
 bool TerraceGraph::InsertEdge(VertexId src, VertexId dst) {
+  if (src >= num_vertices() || dst >= num_vertices()) {
+    oob_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   std::lock_guard<std::mutex> lock(pma_mu_);
   if (InsertIntoVertex(blocks_[src], src, dst)) {
     ++num_edges_;
@@ -200,6 +214,10 @@ bool TerraceGraph::InsertEdge(VertexId src, VertexId dst) {
 }
 
 bool TerraceGraph::DeleteEdge(VertexId src, VertexId dst) {
+  if (src >= num_vertices() || dst >= num_vertices()) {
+    oob_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   std::lock_guard<std::mutex> lock(pma_mu_);
   if (DeleteFromVertex(blocks_[src], src, dst)) {
     --num_edges_;
@@ -210,6 +228,9 @@ bool TerraceGraph::DeleteEdge(VertexId src, VertexId dst) {
 }
 
 bool TerraceGraph::HasEdge(VertexId src, VertexId dst) const {
+  if (src >= num_vertices() || dst >= num_vertices()) {
+    return false;
+  }
   const VertexBlock& vb = blocks_[src];
   const VertexId* end = vb.inline_edges + vb.inline_count;
   if (std::binary_search(vb.inline_edges, end, dst)) {
@@ -228,11 +249,22 @@ size_t TerraceGraph::InsertBatch(std::span<const Edge> batch) {
 
 size_t TerraceGraph::InsertPrepared(const PreparedBatch& pb) {
   std::atomic<size_t> added{0};
+  const VertexId n = num_vertices();
   ForEachGroupLargestFirst(pb, pool(), [&](size_t g) {
-    size_t local = 0;
     VertexId src = pb.group_source(g);
+    if (src >= n) {
+      oob_rejected_.fetch_add(pb.group_end(g) - pb.group_begin(g),
+                              std::memory_order_relaxed);
+      return;
+    }
+    size_t local = 0;
+    size_t oob = 0;
     VertexBlock& vb = blocks_[src];
     for (size_t i = pb.group_begin(g); i < pb.group_end(g); ++i) {
+      if (pb.edges[i].dst >= n) {
+        ++oob;
+        continue;
+      }
       // Terrace's shared array forces all PMA-resident vertices through one
       // lock; B-tree vertices proceed independently.
       if (vb.btree != nullptr && vb.inline_count == kInlineCap &&
@@ -245,6 +277,9 @@ size_t TerraceGraph::InsertPrepared(const PreparedBatch& pb) {
       }
       std::lock_guard<std::mutex> lock(pma_mu_);
       local += InsertIntoVertex(vb, src, pb.edges[i].dst);
+    }
+    if (oob != 0) {
+      oob_rejected_.fetch_add(oob, std::memory_order_relaxed);
     }
     added.fetch_add(local, std::memory_order_relaxed);
   });
@@ -260,13 +295,27 @@ size_t TerraceGraph::DeleteBatch(std::span<const Edge> batch) {
 
 size_t TerraceGraph::DeletePrepared(const PreparedBatch& pb) {
   std::atomic<size_t> removed{0};
+  const VertexId n = num_vertices();
   ForEachGroupLargestFirst(pb, pool(), [&](size_t g) {
-    size_t local = 0;
     VertexId src = pb.group_source(g);
+    if (src >= n) {
+      oob_rejected_.fetch_add(pb.group_end(g) - pb.group_begin(g),
+                              std::memory_order_relaxed);
+      return;
+    }
+    size_t local = 0;
+    size_t oob = 0;
     VertexBlock& vb = blocks_[src];
     for (size_t i = pb.group_begin(g); i < pb.group_end(g); ++i) {
+      if (pb.edges[i].dst >= n) {
+        ++oob;
+        continue;
+      }
       std::lock_guard<std::mutex> lock(pma_mu_);
       local += DeleteFromVertex(vb, src, pb.edges[i].dst);
+    }
+    if (oob != 0) {
+      oob_rejected_.fetch_add(oob, std::memory_order_relaxed);
     }
     removed.fetch_add(local, std::memory_order_relaxed);
   });

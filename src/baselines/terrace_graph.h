@@ -58,7 +58,19 @@ class TerraceGraph {
   TerraceGraph(const TerraceGraph&) = delete;
   TerraceGraph& operator=(const TerraceGraph&) = delete;
 
+  // Invoked on a non-empty engine this rebuilds in place: all existing
+  // B-trees, PMA keys, and inline runs are released first.
   void BuildFromEdges(std::vector<Edge> edges);
+
+  // Grows the vertex set by `count` ids; returns the first new id. Not
+  // concurrent with updates or analytics.
+  VertexId AddVertices(VertexId count) {
+    VertexId first = num_vertices();
+    blocks_.resize(blocks_.size() + count);
+    offsets_dirty_.store(true, std::memory_order_release);
+    return first;
+  }
+
   size_t InsertBatch(std::span<const Edge> batch);
   size_t DeleteBatch(std::span<const Edge> batch);
 
@@ -73,6 +85,12 @@ class TerraceGraph {
   VertexId num_vertices() const { return static_cast<VertexId>(blocks_.size()); }
   EdgeCount num_edges() const { return num_edges_; }
   size_t degree(VertexId v) const { return blocks_[v].degree; }
+
+  // Out-of-range endpoints rejected (counted and skipped) by update paths;
+  // see DESIGN.md "Endpoint validation".
+  uint64_t oob_rejected() const {
+    return oob_rejected_.load(std::memory_order_relaxed);
+  }
 
   // Neighbor traversal uses Terrace's offset array into the PMA: O(1) range
   // location plus a contiguous scan (this locality is why Terrace beats the
@@ -133,6 +151,7 @@ class TerraceGraph {
   mutable std::mutex pma_mu_;  // serializes writers on the shared array
   EdgeCount num_edges_ = 0;
   ThreadPool* pool_ = nullptr;
+  std::atomic<uint64_t> oob_rejected_{0};
 
   // Offset array: offsets_[v] is the first PMA slot holding vertex v's keys
   // (size num_vertices + 1). Lazily rebuilt when dirty.

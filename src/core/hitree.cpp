@@ -113,8 +113,7 @@ Lia::Lia(const Options& options, std::span<const VertexId> sorted_ids)
     auto child = std::make_unique<HiNode>(options_);
     child->BulkLoad(sorted_ids.subspan(begin, end - begin),
                     /*force_flat=*/end - begin == n);
-    uint32_t idx = static_cast<uint32_t>(children_.size());
-    children_.push_back(std::move(child));
+    uint32_t idx = AllocChild(std::move(child));
     for (size_t gg = g; gg <= h; ++gg) {
       size_t ba = child_groups[gg].block * bks;
       types_.SetRange(ba, ba + bks, SlotType::kChild);
@@ -158,13 +157,24 @@ void Lia::StoreBlock(size_t b, std::span<const VertexId> ids) {
   types_.SetRange(ba + ids.size(), ba + bks, SlotType::kUnused);
 }
 
+uint32_t Lia::AllocChild(std::unique_ptr<HiNode> child) {
+  if (!free_children_.empty()) {
+    uint32_t idx = free_children_.back();
+    free_children_.pop_back();
+    children_[idx] = std::move(child);
+    return idx;
+  }
+  uint32_t idx = static_cast<uint32_t>(children_.size());
+  children_.push_back(std::move(child));
+  return idx;
+}
+
 void Lia::MakeChild(size_t b, std::span<const VertexId> ids) {
   size_t ba = b * options_.block_size;
   size_t bks = options_.block_size;
   auto child = std::make_unique<HiNode>(options_);
   child->BulkLoad(ids);
-  uint32_t idx = static_cast<uint32_t>(children_.size());
-  children_.push_back(std::move(child));
+  uint32_t idx = AllocChild(std::move(child));
   types_.SetRange(ba, ba + bks, SlotType::kChild);
   for (size_t s = ba; s < ba + bks; ++s) {
     slots_[s] = idx;
@@ -192,6 +202,9 @@ void Lia::DetachChild(size_t b, uint32_t child) {
     types_.SetRange(bb * bks, (bb + 1) * bks, SlotType::kUnused);
   }
   children_[child].reset();
+  // Recycle the slot: without this, churn that repeatedly drains and
+  // refills a block grows children_ by one dead entry per cycle.
+  free_children_.push_back(child);
 }
 
 bool Lia::Insert(VertexId id) {
@@ -304,7 +317,8 @@ bool Lia::Contains(VertexId id) const {
 size_t Lia::memory_footprint() const {
   size_t total = sizeof(*this) + slots_.capacity() * sizeof(VertexId) +
                  types_.MemoryBytes() +
-                 children_.capacity() * sizeof(children_[0]);
+                 children_.capacity() * sizeof(children_[0]) +
+                 free_children_.capacity() * sizeof(uint32_t);
   for (const auto& c : children_) {
     if (c != nullptr) {
       total += c->memory_footprint();
@@ -316,7 +330,8 @@ size_t Lia::memory_footprint() const {
 size_t Lia::index_bytes() const {
   // The learned index proper: the model and the slot-type metadata.
   size_t total = 2 * sizeof(double) + types_.MemoryBytes() +
-                 children_.capacity() * sizeof(children_[0]);
+                 children_.capacity() * sizeof(children_[0]) +
+                 free_children_.capacity() * sizeof(uint32_t);
   for (const auto& c : children_) {
     if (c != nullptr) {
       total += c->index_bytes();
@@ -359,6 +374,20 @@ bool Lia::CheckInvariants() const {
       }
     }
     if (!children_[idx]->CheckInvariants()) {
+      return false;
+    }
+  }
+  // Every detached slot must be on the free list exactly once, and every
+  // free-list entry must name a detached slot.
+  size_t null_children = 0;
+  for (const auto& c : children_) {
+    null_children += c == nullptr;
+  }
+  if (null_children != free_children_.size()) {
+    return false;
+  }
+  for (uint32_t idx : free_children_) {
+    if (idx >= children_.size() || children_[idx] != nullptr) {
       return false;
     }
   }
@@ -421,7 +450,11 @@ bool HiNode::Insert(VertexId id) {
       }
       array_.insert(it, id);
       if (array_.size() > options_.a_threshold) {
-        BulkLoad(array_);  // upgrade to RIA
+        // Upgrade to RIA. BulkLoad starts by clearing array_, so a span
+        // over array_ itself would read destroyed elements — hand it the
+        // ids through a local buffer instead.
+        std::vector<VertexId> ids = std::move(array_);
+        BulkLoad(ids);
       }
       return true;
     }
@@ -468,11 +501,40 @@ bool HiNode::Delete(VertexId id) {
       return true;
     }
     case Kind::kRia:
-      return ria_->Delete(id);
+      if (!ria_->Delete(id)) {
+        return false;
+      }
+      MaybeDowngrade();
+      return true;
     case Kind::kLia:
-      return lia_->Delete(id);
+      if (!lia_->Delete(id)) {
+        return false;
+      }
+      MaybeDowngrade();
+      return true;
   }
   return false;
+}
+
+void HiNode::MaybeDowngrade() {
+  bool shrink = (kind_ == Kind::kLia && size() <= options_.m_threshold / 2) ||
+                (kind_ == Kind::kRia && size() <= options_.a_threshold / 2);
+  if (!shrink) {
+    return;
+  }
+  Kind old_kind = kind_;
+  std::vector<VertexId> ids = Decode();
+  BulkLoad(ids);
+  if (options_.stats != nullptr) {
+    if (old_kind == Kind::kLia && kind_ != Kind::kLia) {
+      options_.stats->hitree_to_ria_conversions.fetch_add(
+          1, std::memory_order_relaxed);
+    }
+    if (old_kind != Kind::kArray && kind_ == Kind::kArray) {
+      options_.stats->ria_to_array_conversions.fetch_add(
+          1, std::memory_order_relaxed);
+    }
+  }
 }
 
 bool HiNode::Contains(VertexId id) const {

@@ -69,6 +69,9 @@ class Lia {
 
   // Gathers the data ids resident in block b (E and B slots), ascending.
   void GatherBlock(size_t b, std::vector<VertexId>* out) const;
+  // Places `child` in a children_ slot (reusing a detached one if any) and
+  // returns its index.
+  uint32_t AllocChild(std::unique_ptr<HiNode> child);
   // Rewrites block b as a packed run of `ids` (B entries) — requires
   // ids.size() <= block_size — or as a child pointer when larger.
   void StoreBlock(size_t b, std::span<const VertexId> ids);
@@ -82,6 +85,9 @@ class Lia {
   double slope_ = 0.0;
   double intercept_ = 0.0;
   std::vector<std::unique_ptr<HiNode>> children_;
+  // Indices of children_ slots vacated by DetachChild, reused by AllocChild
+  // so delete/insert churn cannot grow children_ without bound.
+  std::vector<uint32_t> free_children_;
   size_t size_ = 0;
 };
 
@@ -140,6 +146,13 @@ class HiNode {
   bool CheckInvariants() const;
 
  private:
+  // Downward conversions (the delete-path mirror of the upgrade ladder):
+  // re-bulkloads once the node shrinks past half the upgrade threshold, so
+  // a delete-heavy stream releases index structures instead of pinning the
+  // largest representation the vertex ever reached. The half-threshold
+  // hysteresis keeps an insert/delete flutter at a boundary from thrashing.
+  void MaybeDowngrade();
+
   Options options_;
   Kind kind_ = Kind::kArray;
   std::vector<VertexId> array_;

@@ -25,6 +25,16 @@ ThreadPool& LSGraph::pool() const {
 }
 
 void LSGraph::BuildFromEdges(std::vector<Edge> edges) {
+  // Rebuild-in-place: release every existing tail and clear the inline runs
+  // first. Overwriting vb.tail without this leaked the old HiNode, and
+  // vertices absent from the new edge list kept their stale adjacency.
+  pool().ParallelFor(0, blocks_.size(), [this](size_t v) {
+    delete blocks_[v].tail;
+    blocks_[v] = VertexBlock{};
+  });
+  num_edges_ = 0;
+  oob_rejected_.fetch_add(RemoveOutOfRangeEdges(&edges, num_vertices()),
+                          std::memory_order_relaxed);
   PreparedBatch pb = PrepareBatch(std::move(edges), pool());
   const std::vector<Edge>& sorted = pb.edges;
   ForEachGroupLargestFirst(pb, pool(), [&](size_t g) {
@@ -103,12 +113,13 @@ bool LSGraph::DeleteFromVertex(VertexBlock& vb, VertexId dst) {
     std::copy(it + 1, end, it);
     --vb.inline_count;
     --vb.degree;
-    if (vb.tail != nullptr && vb.tail->size() != 0) {
+    if (vb.tail != nullptr) {
       // Backfill from the tail to keep the inline run full (and the
       // inline-max < tail-min invariant trivially true).
       VertexId min_tail = vb.tail->First();
       vb.tail->Delete(min_tail);
       vb.inline_edges[vb.inline_count++] = min_tail;
+      FreeTailIfDrained(vb);
     }
     return true;
   }
@@ -116,10 +127,15 @@ bool LSGraph::DeleteFromVertex(VertexBlock& vb, VertexId dst) {
     return false;
   }
   --vb.degree;
+  FreeTailIfDrained(vb);
   return true;
 }
 
 bool LSGraph::InsertEdge(VertexId src, VertexId dst) {
+  if (src >= num_vertices() || dst >= num_vertices()) {
+    oob_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   if (InsertIntoVertex(blocks_[src], dst)) {
     ++num_edges_;
     return true;
@@ -128,6 +144,10 @@ bool LSGraph::InsertEdge(VertexId src, VertexId dst) {
 }
 
 bool LSGraph::DeleteEdge(VertexId src, VertexId dst) {
+  if (src >= num_vertices() || dst >= num_vertices()) {
+    oob_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   if (DeleteFromVertex(blocks_[src], dst)) {
     --num_edges_;
     return true;
@@ -136,6 +156,9 @@ bool LSGraph::DeleteEdge(VertexId src, VertexId dst) {
 }
 
 bool LSGraph::HasEdge(VertexId src, VertexId dst) const {
+  if (src >= num_vertices() || dst >= num_vertices()) {
+    return false;
+  }
   const VertexBlock& vb = blocks_[src];
   const VertexId* end = vb.inline_edges + vb.inline_count;
   if (std::binary_search(vb.inline_edges, end, dst)) {
@@ -151,11 +174,27 @@ size_t LSGraph::InsertBatch(std::span<const Edge> batch) {
 
 size_t LSGraph::InsertPrepared(const PreparedBatch& pb) {
   std::atomic<size_t> added{0};
+  const VertexId n = num_vertices();
   ForEachGroupLargestFirst(pb, pool(), [&](size_t g) {
+    VertexId src = pb.group_source(g);
+    if (src >= n) {
+      oob_rejected_.fetch_add(pb.group_end(g) - pb.group_begin(g),
+                              std::memory_order_relaxed);
+      return;
+    }
     size_t local = 0;
-    VertexBlock& vb = blocks_[pb.group_source(g)];
+    size_t oob = 0;
+    VertexBlock& vb = blocks_[src];
     for (size_t i = pb.group_begin(g); i < pb.group_end(g); ++i) {
-      local += InsertIntoVertex(vb, pb.edges[i].dst);
+      VertexId dst = pb.edges[i].dst;
+      if (dst >= n) {
+        ++oob;
+        continue;
+      }
+      local += InsertIntoVertex(vb, dst);
+    }
+    if (oob != 0) {
+      oob_rejected_.fetch_add(oob, std::memory_order_relaxed);
     }
     added.fetch_add(local, std::memory_order_relaxed);
   });
@@ -170,11 +209,27 @@ size_t LSGraph::DeleteBatch(std::span<const Edge> batch) {
 
 size_t LSGraph::DeletePrepared(const PreparedBatch& pb) {
   std::atomic<size_t> removed{0};
+  const VertexId n = num_vertices();
   ForEachGroupLargestFirst(pb, pool(), [&](size_t g) {
+    VertexId src = pb.group_source(g);
+    if (src >= n) {
+      oob_rejected_.fetch_add(pb.group_end(g) - pb.group_begin(g),
+                              std::memory_order_relaxed);
+      return;
+    }
     size_t local = 0;
-    VertexBlock& vb = blocks_[pb.group_source(g)];
+    size_t oob = 0;
+    VertexBlock& vb = blocks_[src];
     for (size_t i = pb.group_begin(g); i < pb.group_end(g); ++i) {
-      local += DeleteFromVertex(vb, pb.edges[i].dst);
+      VertexId dst = pb.edges[i].dst;
+      if (dst >= n) {
+        ++oob;
+        continue;
+      }
+      local += DeleteFromVertex(vb, dst);
+    }
+    if (oob != 0) {
+      oob_rejected_.fetch_add(oob, std::memory_order_relaxed);
     }
     removed.fetch_add(local, std::memory_order_relaxed);
   });
@@ -212,6 +267,9 @@ bool LSGraph::CheckInvariants() const {
       return false;
     }
     size_t tail_size = vb.tail != nullptr ? vb.tail->size() : 0;
+    if (vb.tail != nullptr && tail_size == 0) {
+      return false;  // drained tails must be freed, not retained
+    }
     if (vb.degree != vb.inline_count + tail_size) {
       return false;
     }

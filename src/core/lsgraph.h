@@ -12,6 +12,7 @@
 #ifndef SRC_CORE_LSGRAPH_H_
 #define SRC_CORE_LSGRAPH_H_
 
+#include <atomic>
 #include <memory>
 #include <span>
 #include <vector>
@@ -39,8 +40,11 @@ class LSGraph {
   LSGraph(const LSGraph&) = delete;
   LSGraph& operator=(const LSGraph&) = delete;
 
-  // Bulk construction from an arbitrary edge list (sorted + deduplicated
-  // internally); parallel across vertices.
+  // Bulk (re)construction from an arbitrary edge list (sorted +
+  // deduplicated internally); parallel across vertices. Invoked on a
+  // non-empty engine it first releases every existing adjacency, so the
+  // result is exactly the given edge list — vertices absent from it end up
+  // empty.
   void BuildFromEdges(std::vector<Edge> edges);
 
   // Grows the vertex set by `count` ids (streaming graphs add vertices as
@@ -71,6 +75,13 @@ class LSGraph {
   VertexId num_vertices() const { return static_cast<VertexId>(blocks_.size()); }
   EdgeCount num_edges() const { return num_edges_; }
   size_t degree(VertexId v) const { return blocks_[v].degree; }
+
+  // Edges naming a vertex >= num_vertices() are rejected (counted and
+  // skipped) by every update path; HasEdge on them reports false. See
+  // DESIGN.md "Endpoint validation".
+  uint64_t oob_rejected() const {
+    return oob_rejected_.load(std::memory_order_relaxed);
+  }
 
   // Applies f(u) to every neighbor u of v in ascending order.
   template <typename F>
@@ -114,6 +125,16 @@ class LSGraph {
   bool InsertIntoVertex(VertexBlock& vb, VertexId dst);
   bool DeleteFromVertex(VertexBlock& vb, VertexId dst);
 
+  // Invariant: a non-null tail is never empty. Deleting the HiNode the
+  // moment it drains releases its arrays/index instead of retaining the
+  // largest representation the vertex ever reached.
+  static void FreeTailIfDrained(VertexBlock& vb) {
+    if (vb.tail != nullptr && vb.tail->size() == 0) {
+      delete vb.tail;
+      vb.tail = nullptr;
+    }
+  }
+
   ThreadPool& pool() const;
 
   Options options_;
@@ -121,6 +142,8 @@ class LSGraph {
   EdgeCount num_edges_ = 0;
   ThreadPool* pool_ = nullptr;
   CoreStats stats_;
+  // Atomic: batch apply rejects from one thread per vertex group.
+  std::atomic<uint64_t> oob_rejected_{0};
 };
 
 }  // namespace lsg

@@ -18,10 +18,21 @@ struct CoreStats {
   std::atomic<uint64_t> ria_expansions{0};
   std::atomic<uint64_t> lia_child_creations{0};        // vertical movements
 
+  // Downward conversions, the delete-path mirror of §6.2's upward ones:
+  // a HITree root that shrinks below M/2 re-bulkloads flat, a RIA that
+  // shrinks below A/2 becomes a plain array, and a RIA whose occupancy
+  // falls well below 1/α rebuilds at the α target and releases capacity.
+  std::atomic<uint64_t> hitree_to_ria_conversions{0};
+  std::atomic<uint64_t> ria_to_array_conversions{0};
+  std::atomic<uint64_t> ria_contractions{0};
+
   void Clear() {
     ria_to_hitree_conversions = 0;
     ria_expansions = 0;
     lia_child_creations = 0;
+    hitree_to_ria_conversions = 0;
+    ria_to_array_conversions = 0;
+    ria_contractions = 0;
   }
 };
 

@@ -7,7 +7,9 @@
 namespace lsg {
 
 Ria::Ria(const Options& options)
-    : block_size_(options.block_size), alpha_(options.alpha) {
+    : block_size_(options.block_size),
+      alpha_(options.alpha),
+      core_stats_(options.stats) {
   assert(block_size_ >= 2 && block_size_ <= 0xffff);
   assert(alpha_ > 1.0 && alpha_ < block_size_ / 2.0);
 }
@@ -18,6 +20,7 @@ void Ria::BulkLoad(std::span<const VertexId> sorted_ids) {
     slots_.clear();
     index_.clear();
     counts_.clear();
+    ReleaseExcessCapacity();
     return;
   }
   size_t want_slots = static_cast<size_t>(size_ * alpha_) + 1;
@@ -25,6 +28,7 @@ void Ria::BulkLoad(std::span<const VertexId> sorted_ids) {
   slots_.assign(nb * block_size_, 0);
   index_.assign(nb, 0);
   counts_.assign(nb, 0);
+  ReleaseExcessCapacity();
   size_t base = size_ / nb;
   size_t rem = size_ % nb;
   assert(base >= 1);
@@ -38,6 +42,18 @@ void Ria::BulkLoad(std::span<const VertexId> sorted_ids) {
     index_[b] = slots_[b * block_size_];
   }
   assert(src == size_);
+}
+
+void Ria::ReleaseExcessCapacity() {
+  if (slots_.capacity() > 2 * slots_.size()) {
+    slots_.shrink_to_fit();
+  }
+  if (index_.capacity() > 2 * index_.size()) {
+    index_.shrink_to_fit();
+  }
+  if (counts_.capacity() > 2 * counts_.size()) {
+    counts_.shrink_to_fit();
+  }
 }
 
 size_t Ria::FindBlock(VertexId id) const {
@@ -111,9 +127,12 @@ void Ria::CascadeLeft(size_t from, size_t to, VertexId id) {
   // Evict the home block's first id (it is <= id because FindBlock picked
   // this block), insert id, and push the evictee leftward.
   VertexId push = home[0];
+  // counts_[from] - 1 ids shift down one slot and the evicted first id
+  // leaves the block: counts_[from] relocations total. Count before the
+  // decrement — the old post-decrement add dropped the evictee.
+  stats_.elements_moved += counts_[from];
   std::copy(home + 1, home + counts_[from], home);
   --counts_[from];
-  stats_.elements_moved += counts_[from];
   bool ok = InsertIntoBlock(from, id);
   assert(ok);
   (void)ok;
@@ -224,8 +243,24 @@ bool Ria::Delete(VertexId id) {
     BulkLoad(Decode());
   } else {
     index_[b] = block[0];
+    MaybeContract();
   }
   return true;
+}
+
+void Ria::MaybeContract() {
+  // Hysteresis at twice the α target (plus one block of slack) so a rebuild
+  // is never immediately undone by the next few inserts.
+  if (slots_.size() <= block_size_ ||
+      static_cast<double>(slots_.size()) <=
+          2.0 * alpha_ * static_cast<double>(size_) + block_size_) {
+    return;
+  }
+  BulkLoad(Decode());
+  ++stats_.contractions;
+  if (core_stats_ != nullptr) {
+    core_stats_->ria_contractions.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 size_t Ria::memory_footprint() const {

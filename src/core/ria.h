@@ -28,9 +28,10 @@
 namespace lsg {
 
 struct RiaStats {
-  uint64_t elements_moved = 0;  // ids rewritten by shifts and cascades
+  uint64_t elements_moved = 0;  // ids rewritten or relocated by shifts/cascades
   uint64_t expansions = 0;      // α-rebuilds triggered by the movement bound
   uint64_t cascades = 0;        // inserts that spilled past their home block
+  uint64_t contractions = 0;    // delete-side rebuilds that released slots
 };
 
 class Ria {
@@ -96,6 +97,7 @@ class Ria {
  private:
   size_t block_size_;
   double alpha_;
+  CoreStats* core_stats_;  // optional engine-wide counters; may be null
 
   // Block b occupies slots_[b*block_size_, b*block_size_+counts_[b]).
   std::vector<VertexId> slots_;
@@ -117,6 +119,15 @@ class Ria {
   void CascadeLeft(size_t from, size_t to, VertexId id);
 
   void ExpandAndInsert(VertexId id);
+
+  // Delete-side hysteresis: once the slot array exceeds twice the α target
+  // (plus one block of slack), rebuild at ceil(size * α) slots and release
+  // the excess vector capacity.
+  void MaybeContract();
+
+  // shrink_to_fit once a vector's capacity is more than double its size, so
+  // contractions actually return memory instead of parking it in capacity.
+  void ReleaseExcessCapacity();
 };
 
 }  // namespace lsg

@@ -1,0 +1,233 @@
+#include "src/testing/adapters.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "src/baselines/ctree_graph.h"
+#include "src/baselines/sortledton_graph.h"
+#include "src/baselines/terrace_graph.h"
+#include "src/core/lsgraph.h"
+
+namespace lsg {
+namespace {
+
+// std::set-backed oracle implementing the shared endpoint-validation policy
+// (count and skip out-of-range edges) so the engines can be compared against
+// it verbatim, rejects included.
+class ReferenceAdapter : public EngineAdapter {
+ public:
+  explicit ReferenceAdapter(VertexId n) : adj_(n) {}
+
+  std::string_view name() const override { return "reference"; }
+
+  bool InsertEdge(VertexId src, VertexId dst) override {
+    if (OutOfRange(src, dst)) {
+      ++oob_rejected_;
+      return false;
+    }
+    return adj_[src].insert(dst).second;
+  }
+
+  bool DeleteEdge(VertexId src, VertexId dst) override {
+    if (OutOfRange(src, dst)) {
+      ++oob_rejected_;
+      return false;
+    }
+    return adj_[src].erase(dst) != 0;
+  }
+
+  size_t InsertBatch(std::span<const Edge> batch) override {
+    size_t added = 0;
+    for (const Edge& e : batch) {
+      added += InsertEdge(e.src, e.dst);
+    }
+    return added;
+  }
+
+  size_t DeleteBatch(std::span<const Edge> batch) override {
+    size_t removed = 0;
+    for (const Edge& e : batch) {
+      removed += DeleteEdge(e.src, e.dst);
+    }
+    return removed;
+  }
+
+  void BuildFromEdges(std::vector<Edge> edges) override {
+    for (auto& s : adj_) {
+      s.clear();
+    }
+    oob_rejected_ += RemoveOutOfRangeEdges(&edges, NumVertices());
+    for (const Edge& e : edges) {
+      adj_[e.src].insert(e.dst);
+    }
+  }
+
+  VertexId AddVertices(VertexId count) override {
+    VertexId first = NumVertices();
+    adj_.resize(adj_.size() + count);
+    return first;
+  }
+
+  bool HasEdge(VertexId src, VertexId dst) const override {
+    if (OutOfRange(src, dst)) {
+      return false;
+    }
+    return adj_[src].count(dst) != 0;
+  }
+
+  size_t Degree(VertexId v) const override { return adj_[v].size(); }
+  VertexId NumVertices() const override {
+    return static_cast<VertexId>(adj_.size());
+  }
+  EdgeCount NumEdges() const override {
+    EdgeCount total = 0;
+    for (const auto& s : adj_) {
+      total += s.size();
+    }
+    return total;
+  }
+  uint64_t OobRejected() const override { return oob_rejected_; }
+
+  std::vector<VertexId> Neighbors(VertexId v) const override {
+    return {adj_[v].begin(), adj_[v].end()};
+  }
+
+  bool CheckInvariants() const override { return true; }
+
+ private:
+  bool OutOfRange(VertexId src, VertexId dst) const {
+    return src >= NumVertices() || dst >= NumVertices();
+  }
+
+  std::vector<std::set<VertexId>> adj_;
+  uint64_t oob_rejected_ = 0;
+};
+
+// One template wraps all four engines: they share the update/query surface
+// by convention (the typed engine tests rely on the same shape).
+template <typename G>
+class GraphAdapter : public EngineAdapter {
+ public:
+  GraphAdapter(std::string_view name, std::unique_ptr<G> graph)
+      : name_(name), graph_(std::move(graph)) {}
+
+  std::string_view name() const override { return name_; }
+
+  bool InsertEdge(VertexId src, VertexId dst) override {
+    return graph_->InsertEdge(src, dst);
+  }
+  bool DeleteEdge(VertexId src, VertexId dst) override {
+    return graph_->DeleteEdge(src, dst);
+  }
+  size_t InsertBatch(std::span<const Edge> batch) override {
+    return graph_->InsertBatch(batch);
+  }
+  size_t DeleteBatch(std::span<const Edge> batch) override {
+    return graph_->DeleteBatch(batch);
+  }
+  void BuildFromEdges(std::vector<Edge> edges) override {
+    graph_->BuildFromEdges(std::move(edges));
+  }
+  VertexId AddVertices(VertexId count) override {
+    return graph_->AddVertices(count);
+  }
+
+  bool HasEdge(VertexId src, VertexId dst) const override {
+    return graph_->HasEdge(src, dst);
+  }
+  size_t Degree(VertexId v) const override { return graph_->degree(v); }
+  VertexId NumVertices() const override { return graph_->num_vertices(); }
+  EdgeCount NumEdges() const override { return graph_->num_edges(); }
+  uint64_t OobRejected() const override { return graph_->oob_rejected(); }
+
+  std::vector<VertexId> Neighbors(VertexId v) const override {
+    std::vector<VertexId> out;
+    graph_->map_neighbors(v, [&out](VertexId u) { out.push_back(u); });
+    return out;
+  }
+
+  bool CheckInvariants() const override { return graph_->CheckInvariants(); }
+
+  size_t LiveFootprint() const override { return graph_->memory_footprint(); }
+
+ protected:
+  G& graph() { return *graph_; }
+  const G& graph() const { return *graph_; }
+
+ private:
+  std::string_view name_;
+  std::unique_ptr<G> graph_;
+};
+
+// LSGraph additionally supports the memory audit: a freshly bulk-loaded
+// engine with the same content is the footprint the live engine should stay
+// within a constant factor of (delete paths must release, not retain).
+class LSGraphAdapter : public GraphAdapter<LSGraph> {
+ public:
+  LSGraphAdapter(std::unique_ptr<LSGraph> graph, ThreadPool* pool)
+      : GraphAdapter("lsgraph", std::move(graph)), pool_(pool) {}
+
+  size_t FreshFootprint() const override {
+    std::vector<Edge> edges;
+    for (VertexId v = 0; v < graph().num_vertices(); ++v) {
+      graph().map_neighbors(
+          v, [&edges, v](VertexId u) { edges.push_back(Edge{v, u}); });
+    }
+    LSGraph fresh(graph().num_vertices(), graph().options(), pool_);
+    fresh.BuildFromEdges(std::move(edges));
+    return fresh.memory_footprint();
+  }
+
+ private:
+  ThreadPool* pool_;
+};
+
+// Deterministically buggy oracle wrapper for harness self-tests.
+class DropInsertAdapter : public ReferenceAdapter {
+ public:
+  DropInsertAdapter(VertexId n, VertexId modulus, VertexId residue)
+      : ReferenceAdapter(n), modulus_(modulus), residue_(residue) {}
+
+  std::string_view name() const override { return "drop-insert"; }
+
+  bool InsertEdge(VertexId src, VertexId dst) override {
+    if (dst % modulus_ == residue_) {
+      return false;  // injected bug: silently drops the edge
+    }
+    return ReferenceAdapter::InsertEdge(src, dst);
+  }
+
+ private:
+  VertexId modulus_;
+  VertexId residue_;
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<EngineAdapter>> MakeDefaultAdapters(
+    VertexId n, ThreadPool* pool) {
+  std::vector<std::unique_ptr<EngineAdapter>> out;
+  out.push_back(std::make_unique<ReferenceAdapter>(n));
+  out.push_back(std::make_unique<LSGraphAdapter>(
+      std::make_unique<LSGraph>(n, Options{}, pool), pool));
+  out.push_back(std::make_unique<GraphAdapter<TerraceGraph>>(
+      "terrace", std::make_unique<TerraceGraph>(n, TerraceOptions{}, pool)));
+  out.push_back(std::make_unique<GraphAdapter<AspenGraph>>(
+      "aspen", std::make_unique<AspenGraph>(n, pool)));
+  out.push_back(std::make_unique<GraphAdapter<SortledtonGraph>>(
+      "sortledton", std::make_unique<SortledtonGraph>(n, pool)));
+  return out;
+}
+
+std::unique_ptr<EngineAdapter> MakeReferenceAdapter(VertexId n) {
+  return std::make_unique<ReferenceAdapter>(n);
+}
+
+std::unique_ptr<EngineAdapter> MakeDropInsertAdapter(VertexId n,
+                                                     VertexId modulus,
+                                                     VertexId residue) {
+  return std::make_unique<DropInsertAdapter>(n, modulus, residue);
+}
+
+}  // namespace lsg

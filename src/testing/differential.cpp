@@ -1,0 +1,276 @@
+#include "src/testing/differential.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+namespace lsg {
+namespace {
+
+constexpr uint32_t kUnreached = ~uint32_t{0};
+
+// Serial BFS over an adapter's out-edges; the comparison target is the
+// level vector, which is independent of traversal order.
+std::vector<uint32_t> BfsLevels(const EngineAdapter& g, VertexId source) {
+  std::vector<uint32_t> level(g.NumVertices(), kUnreached);
+  std::deque<VertexId> queue{source};
+  level[source] = 0;
+  while (!queue.empty()) {
+    VertexId u = queue.front();
+    queue.pop_front();
+    for (VertexId v : g.Neighbors(u)) {
+      if (level[v] == kUnreached) {
+        level[v] = level[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return level;
+}
+
+// Weakly-connected components via union-find over the dumped edge set;
+// labels are normalized to the smallest vertex id in each component.
+std::vector<VertexId> ComponentLabels(const EngineAdapter& g) {
+  VertexId n = g.NumVertices();
+  std::vector<VertexId> parent(n);
+  std::iota(parent.begin(), parent.end(), VertexId{0});
+  auto find = [&parent](VertexId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId u : g.Neighbors(v)) {
+      VertexId a = find(v);
+      VertexId b = find(u);
+      if (a != b) {
+        parent[std::max(a, b)] = std::min(a, b);
+      }
+    }
+  }
+  std::vector<VertexId> label(n);
+  for (VertexId v = 0; v < n; ++v) {
+    label[v] = find(v);
+  }
+  return label;
+}
+
+// Engines attempt each distinct batch edge exactly once (PrepareBatch
+// dedups), so the oracle's batch results are only comparable after the
+// same normalization.
+std::vector<Edge> DedupBatch(const std::vector<Edge>& edges) {
+  std::vector<Edge> out = edges;
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+class Runner {
+ public:
+  Runner(const Trace& trace, const RunConfig& config,
+         const AdapterFactory& factory)
+      : trace_(trace), config_(config), pool_(config.threads) {
+    adapters_ = factory(trace.initial_vertices, &pool_);
+  }
+
+  Divergence Run() {
+    for (size_t idx = 0; idx < trace_.ops.size(); ++idx) {
+      if (Step(idx, trace_.ops[idx])) {
+        return result_;
+      }
+      if (config_.audit_interval != 0 &&
+          (idx + 1) % config_.audit_interval == 0 && Audit(idx)) {
+        return result_;
+      }
+    }
+    if (Audit(trace_.ops.size())) {
+      return result_;
+    }
+    return Divergence{};
+  }
+
+ private:
+  EngineAdapter& oracle() { return *adapters_[0]; }
+
+  bool Diverged(size_t idx, const EngineAdapter& engine,
+                const std::string& message) {
+    result_.found = true;
+    result_.op_index = idx;
+    result_.engine = std::string(engine.name());
+    result_.message = message;
+    return true;
+  }
+
+  template <typename T>
+  bool CompareAll(size_t idx, const char* what,
+                  const std::function<T(EngineAdapter&)>& probe) {
+    T want = probe(oracle());
+    for (size_t i = 1; i < adapters_.size(); ++i) {
+      T got = probe(*adapters_[i]);
+      if (got != want) {
+        std::ostringstream msg;
+        msg << what << " mismatch";
+        if constexpr (std::is_arithmetic_v<T>) {
+          msg << ": got " << +got << ", oracle " << +want;
+        }
+        return Diverged(idx, *adapters_[i], msg.str());
+      }
+    }
+    return false;
+  }
+
+  bool Step(size_t idx, const TraceOp& op) {
+    switch (op.kind) {
+      case TraceOpKind::kInsert:
+        return CompareAll<bool>(idx, "InsertEdge", [&op](EngineAdapter& a) {
+          return a.InsertEdge(op.u, op.v);
+        });
+      case TraceOpKind::kDelete:
+        return CompareAll<bool>(idx, "DeleteEdge", [&op](EngineAdapter& a) {
+          return a.DeleteEdge(op.u, op.v);
+        });
+      case TraceOpKind::kInsertBatch: {
+        std::vector<Edge> deduped = DedupBatch(op.edges);
+        return CompareAll<size_t>(
+            idx, "InsertBatch", [&op, &deduped, this](EngineAdapter& a) {
+              return &a == &oracle() ? a.InsertBatch(deduped)
+                                     : a.InsertBatch(op.edges);
+            });
+      }
+      case TraceOpKind::kDeleteBatch: {
+        std::vector<Edge> deduped = DedupBatch(op.edges);
+        return CompareAll<size_t>(
+            idx, "DeleteBatch", [&op, &deduped, this](EngineAdapter& a) {
+              return &a == &oracle() ? a.DeleteBatch(deduped)
+                                     : a.DeleteBatch(op.edges);
+            });
+      }
+      case TraceOpKind::kBuild:
+        for (auto& a : adapters_) {
+          a->BuildFromEdges(op.edges);
+        }
+        return false;
+      case TraceOpKind::kAddVertices:
+        return CompareAll<VertexId>(
+            idx, "AddVertices",
+            [&op](EngineAdapter& a) { return a.AddVertices(op.u); });
+      case TraceOpKind::kHasEdge:
+        return CompareAll<bool>(idx, "HasEdge", [&op](EngineAdapter& a) {
+          return a.HasEdge(op.u, op.v);
+        });
+      case TraceOpKind::kDegree:
+        if (op.u >= oracle().NumVertices()) {
+          return false;  // policy: probes of unknown vertices are skipped
+        }
+        return CompareAll<size_t>(
+            idx, "degree", [&op](EngineAdapter& a) { return a.Degree(op.u); });
+      case TraceOpKind::kSnapshot:
+        return Snapshot(idx);
+      case TraceOpKind::kAudit:
+        return Audit(idx);
+      case TraceOpKind::kBfs:
+        if (op.u >= oracle().NumVertices()) {
+          return false;
+        }
+        return CompareAll<std::vector<uint32_t>>(
+            idx, "BFS levels",
+            [&op](EngineAdapter& a) { return BfsLevels(a, op.u); });
+      case TraceOpKind::kComponents:
+        return CompareAll<std::vector<VertexId>>(
+            idx, "component labels",
+            [](EngineAdapter& a) { return ComponentLabels(a); });
+    }
+    return false;
+  }
+
+  bool Snapshot(size_t idx) {
+    VertexId n = oracle().NumVertices();
+    for (size_t i = 1; i < adapters_.size(); ++i) {
+      EngineAdapter& a = *adapters_[i];
+      if (a.NumVertices() != n) {
+        std::ostringstream msg;
+        msg << "num_vertices mismatch: got " << a.NumVertices() << ", oracle "
+            << n;
+        return Diverged(idx, a, msg.str());
+      }
+      for (VertexId v = 0; v < n; ++v) {
+        std::vector<VertexId> want = oracle().Neighbors(v);
+        std::vector<VertexId> got = a.Neighbors(v);
+        if (got != want) {
+          std::ostringstream msg;
+          msg << "adjacency mismatch at vertex " << v << ": |got| "
+              << got.size() << ", |oracle| " << want.size();
+          return Diverged(idx, a, msg.str());
+        }
+      }
+    }
+    return false;
+  }
+
+  bool Audit(size_t idx) {
+    for (size_t i = 1; i < adapters_.size(); ++i) {
+      EngineAdapter& a = *adapters_[i];
+      if (a.NumVertices() != oracle().NumVertices()) {
+        return Diverged(idx, a, "audit: num_vertices mismatch");
+      }
+      if (a.NumEdges() != oracle().NumEdges()) {
+        std::ostringstream msg;
+        msg << "audit: num_edges mismatch: got " << a.NumEdges()
+            << ", oracle " << oracle().NumEdges();
+        return Diverged(idx, a, msg.str());
+      }
+      if (a.OobRejected() != oracle().OobRejected()) {
+        std::ostringstream msg;
+        msg << "audit: oob_rejected mismatch: got " << a.OobRejected()
+            << ", oracle " << oracle().OobRejected();
+        return Diverged(idx, a, msg.str());
+      }
+      if (!a.CheckInvariants()) {
+        return Diverged(idx, a, "audit: CheckInvariants failed");
+      }
+      if (config_.memory_audit) {
+        size_t fresh = a.FreshFootprint();
+        if (fresh != 0) {
+          size_t live = a.LiveFootprint();
+          size_t bound = static_cast<size_t>(
+                             config_.memory_slack * static_cast<double>(fresh)) +
+                         config_.memory_slack_bytes;
+          if (live > bound) {
+            std::ostringstream msg;
+            msg << "audit: footprint retention: live " << live
+                << " bytes exceeds " << config_.memory_slack
+                << " * fresh (" << fresh << ") + " << config_.memory_slack_bytes;
+            return Diverged(idx, a, msg.str());
+          }
+        }
+      }
+    }
+    return false;
+  }
+
+  const Trace& trace_;
+  const RunConfig& config_;
+  ThreadPool pool_;
+  std::vector<std::unique_ptr<EngineAdapter>> adapters_;
+  Divergence result_;
+};
+
+}  // namespace
+
+Divergence RunTrace(const Trace& trace, const RunConfig& config,
+                    const AdapterFactory& factory) {
+  return Runner(trace, config, factory).Run();
+}
+
+Divergence RunTrace(const Trace& trace, const RunConfig& config) {
+  return RunTrace(trace, config, [](VertexId n, ThreadPool* pool) {
+    return MakeDefaultAdapters(n, pool);
+  });
+}
+
+}  // namespace lsg

@@ -1,0 +1,52 @@
+// Lockstep differential executor: runs one trace against a cohort of
+// engine adapters (slot 0 = reference oracle) and reports the first
+// divergence — mismatched return values, query results, counters, failed
+// invariants, or a memory-accounting violation.
+#ifndef SRC_TESTING_DIFFERENTIAL_H_
+#define SRC_TESTING_DIFFERENTIAL_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/testing/adapters.h"
+#include "src/testing/trace.h"
+
+namespace lsg {
+
+struct RunConfig {
+  // Thread-pool size the engines run their batch paths on. Results must be
+  // identical for any value (batch apply is deterministic per vertex).
+  int threads = 1;
+
+  // Run the invariant/counter audit every N ops (0 = only at trace end).
+  uint32_t audit_interval = 256;
+
+  // When set, audits additionally check LSGraph's live footprint against a
+  // fresh rebuild of the same content: live <= slack * fresh + slack_bytes.
+  // Catches delete paths that retain instead of release.
+  bool memory_audit = false;
+  double memory_slack = 3.0;
+  size_t memory_slack_bytes = size_t{1} << 16;
+};
+
+struct Divergence {
+  bool found = false;
+  size_t op_index = 0;   // index into trace.ops (ops.size() = end-of-trace)
+  std::string engine;    // adapter that disagreed with the oracle
+  std::string message;
+
+  explicit operator bool() const { return found; }
+};
+
+// Executes the trace op-by-op against factory(trace.initial_vertices) and
+// returns the first divergence (or .found == false). Deterministic for a
+// given trace/config/factory.
+Divergence RunTrace(const Trace& trace, const RunConfig& config,
+                    const AdapterFactory& factory);
+
+// Default cohort: reference + all four engines.
+Divergence RunTrace(const Trace& trace, const RunConfig& config);
+
+}  // namespace lsg
+
+#endif  // SRC_TESTING_DIFFERENTIAL_H_

@@ -1,0 +1,116 @@
+#include "src/testing/generator.h"
+
+#include <algorithm>
+
+#include "src/util/prng.h"
+
+namespace lsg {
+namespace {
+
+class TraceBuilder {
+ public:
+  TraceBuilder(uint64_t seed, const GeneratorConfig& config)
+      : rng_(MixSeed(seed, 0)), config_(config) {
+    trace_.initial_vertices = config.initial_vertices;
+    num_vertices_ = config.initial_vertices;
+  }
+
+  Trace Build() {
+    for (uint32_t i = 0; i < config_.num_ops; ++i) {
+      Emit();
+    }
+    // Every trace ends with a full content comparison plus audit, so even
+    // an all-mutation trace is checked.
+    trace_.ops.push_back(TraceOp::Of(TraceOpKind::kSnapshot));
+    trace_.ops.push_back(TraceOp::Of(TraceOpKind::kAudit));
+    return std::move(trace_);
+  }
+
+ private:
+  // Hub-skewed vertex pick: squaring the uniform variate concentrates mass
+  // on low ids, so a handful of vertices accumulate the high degrees that
+  // drive representation transitions.
+  VertexId PickVertex() {
+    if (rng_.NextBounded(1000) < config_.oob_per_mille) {
+      return num_vertices_ + static_cast<VertexId>(rng_.NextBounded(16));
+    }
+    double u = rng_.NextDouble();
+    return static_cast<VertexId>(u * u * num_vertices_);
+  }
+
+  Edge PickEdge() { return Edge{PickVertex(), PickVertex()}; }
+
+  std::vector<Edge> PickEdges(size_t count) {
+    std::vector<Edge> edges;
+    edges.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      edges.push_back(PickEdge());
+    }
+    return edges;
+  }
+
+  size_t PickBatchSize() {
+    // Log-uniform in [1, max_batch]: small batches dominate but large ones
+    // appear often enough to exercise the parallel apply paths.
+    uint64_t bits = rng_.NextBounded(10);
+    uint64_t hi = std::min<uint64_t>(config_.max_batch, uint64_t{1} << bits);
+    return 1 + rng_.NextBounded(hi);
+  }
+
+  void Emit() {
+    uint64_t roll = rng_.NextBounded(1000);
+    TraceOp op;
+    if (roll < 300) {
+      op.kind = TraceOpKind::kInsert;
+      op.u = PickVertex();
+      op.v = PickVertex();
+    } else if (roll < 450) {
+      op.kind = TraceOpKind::kDelete;
+      op.u = PickVertex();
+      op.v = PickVertex();
+    } else if (roll < 570) {
+      op.kind = TraceOpKind::kInsertBatch;
+      op.edges = PickEdges(PickBatchSize());
+    } else if (roll < 630) {
+      op.kind = TraceOpKind::kDeleteBatch;
+      op.edges = PickEdges(PickBatchSize());
+    } else if (roll < 650) {
+      op.kind = TraceOpKind::kBuild;
+      op.edges = PickEdges(PickBatchSize());
+    } else if (roll < 670) {
+      op.kind = TraceOpKind::kAddVertices;
+      op.u = 1 + static_cast<VertexId>(rng_.NextBounded(8));
+      num_vertices_ += op.u;
+    } else if (roll < 820) {
+      op.kind = TraceOpKind::kHasEdge;
+      op.u = PickVertex();
+      op.v = PickVertex();
+    } else if (roll < 900) {
+      op.kind = TraceOpKind::kDegree;
+      op.u = PickVertex();
+    } else if (roll < 940) {
+      op.kind = TraceOpKind::kSnapshot;
+    } else if (roll < 970) {
+      op.kind = TraceOpKind::kAudit;
+    } else if (roll < 990) {
+      op.kind = TraceOpKind::kBfs;
+      op.u = PickVertex();
+    } else {
+      op.kind = TraceOpKind::kComponents;
+    }
+    trace_.ops.push_back(std::move(op));
+  }
+
+  SplitMix64 rng_;
+  GeneratorConfig config_;
+  Trace trace_;
+  VertexId num_vertices_;
+};
+
+}  // namespace
+
+Trace GenerateTrace(uint64_t seed, const GeneratorConfig& config) {
+  return TraceBuilder(seed, config).Build();
+}
+
+}  // namespace lsg

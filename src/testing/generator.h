@@ -1,0 +1,28 @@
+// Seed-driven trace generator: a weighted op mix with skewed endpoint
+// selection (hub-biased, so traces push vertices through the inline ->
+// array -> RIA -> HITree transitions) plus a small rate of deliberately
+// out-of-range endpoints exercising the endpoint-validation policy.
+// Identical (seed, config) always yields an identical trace.
+#ifndef SRC_TESTING_GENERATOR_H_
+#define SRC_TESTING_GENERATOR_H_
+
+#include <cstdint>
+
+#include "src/testing/trace.h"
+
+namespace lsg {
+
+struct GeneratorConfig {
+  uint32_t num_ops = 10000;
+  VertexId initial_vertices = 96;
+  uint32_t max_batch = 512;
+
+  // Per-mille rate of endpoints intentionally past num_vertices().
+  uint32_t oob_per_mille = 25;
+};
+
+Trace GenerateTrace(uint64_t seed, const GeneratorConfig& config);
+
+}  // namespace lsg
+
+#endif  // SRC_TESTING_GENERATOR_H_

@@ -1,0 +1,114 @@
+#include "src/testing/shrinker.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace lsg {
+namespace {
+
+// Zeller's ddmin, complement-reduction form: repeatedly try dropping one of
+// n chunks; on success restart at the coarsest useful granularity. pred
+// returns true when the candidate still fails.
+template <typename T, typename Pred>
+std::vector<T> Ddmin(std::vector<T> items, const Pred& pred) {
+  size_t n = 2;
+  while (items.size() >= 2 && n <= items.size()) {
+    size_t chunk = (items.size() + n - 1) / n;
+    bool reduced = false;
+    for (size_t start = 0; start < items.size(); start += chunk) {
+      std::vector<T> candidate;
+      candidate.reserve(items.size());
+      candidate.insert(candidate.end(), items.begin(), items.begin() + start);
+      candidate.insert(candidate.end(),
+                       items.begin() + std::min(start + chunk, items.size()),
+                       items.end());
+      if (!candidate.empty() && pred(candidate)) {
+        items = std::move(candidate);
+        n = std::max<size_t>(n - 1, 2);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (n >= items.size()) {
+        break;
+      }
+      n = std::min(items.size(), n * 2);
+    }
+  }
+  return items;
+}
+
+bool IsBatchKind(TraceOpKind kind) {
+  return kind == TraceOpKind::kInsertBatch ||
+         kind == TraceOpKind::kDeleteBatch || kind == TraceOpKind::kBuild;
+}
+
+}  // namespace
+
+Trace MinimizeTrace(const Trace& trace, const RunConfig& config,
+                    const AdapterFactory& factory) {
+  Divergence first = RunTrace(trace, config, factory);
+  if (!first) {
+    return trace;
+  }
+
+  // Ops past the divergence point cannot have contributed. The trailing
+  // snapshot+audit pair is pinned onto every candidate so divergences that
+  // were originally caught by a (possibly dropped) probe or periodic audit
+  // stay detectable after shrinking.
+  Trace base = trace;
+  if (first.op_index + 1 < base.ops.size()) {
+    base.ops.resize(first.op_index + 1);
+  }
+  const std::vector<TraceOp> tail = {TraceOp::Of(TraceOpKind::kSnapshot),
+                                     TraceOp::Of(TraceOpKind::kAudit)};
+
+  auto fails = [&](const std::vector<TraceOp>& ops) {
+    Trace candidate;
+    candidate.initial_vertices = base.initial_vertices;
+    candidate.ops = ops;
+    candidate.ops.insert(candidate.ops.end(), tail.begin(), tail.end());
+    return static_cast<bool>(RunTrace(candidate, config, factory));
+  };
+
+  std::vector<TraceOp> ops = base.ops;
+  if (!fails(ops)) {
+    // Divergence detectable only with the original op sequence (e.g. a
+    // probe-result mismatch that leaves no state behind): keep it whole.
+    return base;
+  }
+  ops = Ddmin(std::move(ops), fails);
+
+  // Second phase: shrink each surviving batch payload with the same ddmin,
+  // holding the rest of the trace fixed.
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (!IsBatchKind(ops[i].kind) || ops[i].edges.size() < 2) {
+      continue;
+    }
+    ops[i].edges = Ddmin(std::move(ops[i].edges), [&](
+                             const std::vector<Edge>& edges) {
+      std::vector<TraceOp> candidate = ops;
+      candidate[i].edges = edges;
+      return fails(candidate);
+    });
+  }
+
+  // Final greedy pass: single-op removals unlocked by the payload shrinks.
+  for (size_t i = ops.size(); i-- > 0;) {
+    std::vector<TraceOp> candidate = ops;
+    candidate.erase(candidate.begin() + i);
+    if (!candidate.empty() && fails(candidate)) {
+      ops = std::move(candidate);
+    }
+  }
+
+  Trace minimized;
+  minimized.initial_vertices = base.initial_vertices;
+  minimized.ops = std::move(ops);
+  minimized.ops.insert(minimized.ops.end(), tail.begin(), tail.end());
+  return minimized;
+}
+
+}  // namespace lsg

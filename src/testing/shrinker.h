@@ -1,0 +1,21 @@
+// Delta-debugging trace minimizer: given a trace on which the differential
+// runner reports a divergence, produce the smallest trace (usually a
+// handful of ops) that still diverges, suitable for serializing as a
+// replay file.
+#ifndef SRC_TESTING_SHRINKER_H_
+#define SRC_TESTING_SHRINKER_H_
+
+#include "src/testing/differential.h"
+#include "src/testing/trace.h"
+
+namespace lsg {
+
+// Returns a minimized trace that still diverges under (config, factory).
+// If the input does not diverge, it is returned unchanged. Deterministic:
+// the same inputs always shrink to the same trace.
+Trace MinimizeTrace(const Trace& trace, const RunConfig& config,
+                    const AdapterFactory& factory);
+
+}  // namespace lsg
+
+#endif  // SRC_TESTING_SHRINKER_H_

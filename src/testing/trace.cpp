@@ -1,0 +1,211 @@
+#include "src/testing/trace.h"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+namespace lsg {
+namespace {
+
+constexpr char kMagic[] = "lsgfuzz 1";
+
+char OpChar(TraceOpKind kind) {
+  switch (kind) {
+    case TraceOpKind::kInsert:
+      return 'i';
+    case TraceOpKind::kDelete:
+      return 'd';
+    case TraceOpKind::kInsertBatch:
+      return 'I';
+    case TraceOpKind::kDeleteBatch:
+      return 'D';
+    case TraceOpKind::kBuild:
+      return 'B';
+    case TraceOpKind::kAddVertices:
+      return 'a';
+    case TraceOpKind::kHasEdge:
+      return 'q';
+    case TraceOpKind::kDegree:
+      return 'g';
+    case TraceOpKind::kSnapshot:
+      return 's';
+    case TraceOpKind::kAudit:
+      return 'c';
+    case TraceOpKind::kBfs:
+      return 'b';
+    case TraceOpKind::kComponents:
+      return 'k';
+  }
+  return '?';
+}
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string SerializeTrace(const Trace& trace) {
+  std::ostringstream out;
+  out << kMagic << '\n';
+  out << "v " << trace.initial_vertices << '\n';
+  for (const TraceOp& op : trace.ops) {
+    switch (op.kind) {
+      case TraceOpKind::kInsert:
+      case TraceOpKind::kDelete:
+      case TraceOpKind::kHasEdge:
+        out << OpChar(op.kind) << ' ' << op.u << ' ' << op.v << '\n';
+        break;
+      case TraceOpKind::kInsertBatch:
+      case TraceOpKind::kDeleteBatch:
+      case TraceOpKind::kBuild:
+        out << OpChar(op.kind) << ' ' << op.edges.size() << '\n';
+        for (const Edge& e : op.edges) {
+          out << "e " << e.src << ' ' << e.dst << '\n';
+        }
+        break;
+      case TraceOpKind::kAddVertices:
+      case TraceOpKind::kDegree:
+      case TraceOpKind::kBfs:
+        out << OpChar(op.kind) << ' ' << op.u << '\n';
+        break;
+      case TraceOpKind::kSnapshot:
+      case TraceOpKind::kAudit:
+      case TraceOpKind::kComponents:
+        out << OpChar(op.kind) << '\n';
+        break;
+    }
+  }
+  return out.str();
+}
+
+bool ParseTrace(const std::string& text, Trace* out, std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    return Fail(error, "bad or missing header (expected 'lsgfuzz 1')");
+  }
+  Trace trace;
+  bool saw_vertices = false;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream ls(line);
+    char c = 0;
+    ls >> c;
+    auto bad = [&](const char* why) {
+      return Fail(error,
+                  "line " + std::to_string(line_no) + ": " + why + ": " + line);
+    };
+    if (c == 'v') {
+      if (saw_vertices) {
+        return bad("duplicate vertex-count line");
+      }
+      if (!(ls >> trace.initial_vertices)) {
+        return bad("malformed vertex count");
+      }
+      saw_vertices = true;
+      continue;
+    }
+    if (!saw_vertices) {
+      return bad("op before vertex-count line");
+    }
+    TraceOp op;
+    switch (c) {
+      case 'i':
+      case 'd':
+      case 'q': {
+        op.kind = c == 'i'   ? TraceOpKind::kInsert
+                  : c == 'd' ? TraceOpKind::kDelete
+                             : TraceOpKind::kHasEdge;
+        if (!(ls >> op.u >> op.v)) {
+          return bad("expected two endpoints");
+        }
+        break;
+      }
+      case 'I':
+      case 'D':
+      case 'B': {
+        op.kind = c == 'I'   ? TraceOpKind::kInsertBatch
+                  : c == 'D' ? TraceOpKind::kDeleteBatch
+                             : TraceOpKind::kBuild;
+        uint64_t count = 0;
+        if (!(ls >> count)) {
+          return bad("expected edge count");
+        }
+        op.edges.reserve(count);
+        for (uint64_t i = 0; i < count; ++i) {
+          if (!std::getline(in, line)) {
+            return Fail(error, "truncated batch payload");
+          }
+          ++line_no;
+          std::istringstream es(line);
+          char e = 0;
+          Edge edge;
+          if (!(es >> e >> edge.src >> edge.dst) || e != 'e') {
+            return bad("expected 'e src dst' payload line");
+          }
+          op.edges.push_back(edge);
+        }
+        break;
+      }
+      case 'a':
+      case 'g':
+      case 'b': {
+        op.kind = c == 'a'   ? TraceOpKind::kAddVertices
+                  : c == 'g' ? TraceOpKind::kDegree
+                             : TraceOpKind::kBfs;
+        if (!(ls >> op.u)) {
+          return bad("expected one operand");
+        }
+        break;
+      }
+      case 's':
+        op.kind = TraceOpKind::kSnapshot;
+        break;
+      case 'c':
+        op.kind = TraceOpKind::kAudit;
+        break;
+      case 'k':
+        op.kind = TraceOpKind::kComponents;
+        break;
+      case 'e':
+        return bad("stray edge line outside a batch");
+      default:
+        return bad("unknown op");
+    }
+    trace.ops.push_back(std::move(op));
+  }
+  if (!saw_vertices) {
+    return Fail(error, "missing vertex-count line");
+  }
+  *out = std::move(trace);
+  return true;
+}
+
+bool WriteTraceFile(const std::string& path, const Trace& trace) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out << SerializeTrace(trace);
+  return static_cast<bool>(out);
+}
+
+bool ReadTraceFile(const std::string& path, Trace* out, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Fail(error, "cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseTrace(buf.str(), out, error);
+}
+
+}  // namespace lsg

@@ -1,0 +1,74 @@
+// Deterministic operation traces for the differential fuzz harness.
+//
+// A trace is the unit the fuzzer generates, executes, shrinks, and replays:
+// an initial vertex count plus a flat op list. The serialized form is a
+// line-oriented text format (see DESIGN.md "Differential fuzzing") chosen so
+// that minimized failure traces are human-readable and diffable, and so a
+// replay file re-executes byte-for-byte deterministically — nothing in a
+// trace depends on wall-clock time or global RNG state.
+#ifndef SRC_TESTING_TRACE_H_
+#define SRC_TESTING_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/graph_types.h"
+
+namespace lsg {
+
+enum class TraceOpKind : uint8_t {
+  kInsert,       // i src dst      single-edge insert
+  kDelete,       // d src dst      single-edge delete
+  kInsertBatch,  // I n + n edge lines   prepared batch insert
+  kDeleteBatch,  // D n + n edge lines   prepared batch delete
+  kBuild,        // B n + n edge lines   BuildFromEdges re-build
+  kAddVertices,  // a count        grow the vertex set
+  kHasEdge,      // q src dst      membership probe
+  kDegree,       // g v            degree probe
+  kSnapshot,     // s              full adjacency dump compare
+  kAudit,        // c              invariants + counters (+ memory) audit
+  kBfs,          // b source       BFS level compare
+  kComponents,   // k              connected-components compare
+};
+
+struct TraceOp {
+  TraceOpKind kind;
+  // Endpoints for edge/probe ops; u doubles as the count for kAddVertices
+  // and the source for kBfs.
+  VertexId u = 0;
+  VertexId v = 0;
+  std::vector<Edge> edges;  // payload for kInsertBatch/kDeleteBatch/kBuild
+
+  friend bool operator==(const TraceOp&, const TraceOp&) = default;
+
+  static TraceOp Of(TraceOpKind kind) {
+    TraceOp op;
+    op.kind = kind;
+    return op;
+  }
+};
+
+struct Trace {
+  VertexId initial_vertices = 0;
+  std::vector<TraceOp> ops;
+
+  friend bool operator==(const Trace&, const Trace&) = default;
+};
+
+// Text round-trip: Parse(Serialize(t)) == t, and Serialize is canonical
+// (Serialize(Parse(s)) == Serialize-normalized s), so replay files compare
+// byte-for-byte.
+std::string SerializeTrace(const Trace& trace);
+
+// Returns false (and sets *error when non-null) on malformed input.
+bool ParseTrace(const std::string& text, Trace* out,
+                std::string* error = nullptr);
+
+// File convenience wrappers; return false on I/O or parse failure.
+bool WriteTraceFile(const std::string& path, const Trace& trace);
+bool ReadTraceFile(const std::string& path, Trace* out,
+                   std::string* error = nullptr);
+
+}  // namespace lsg
+
+#endif  // SRC_TESTING_TRACE_H_

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <tuple>
+#include <vector>
 
 namespace lsg {
 
@@ -21,6 +22,16 @@ struct Edge {
     return std::tie(a.src, a.dst) <=> std::tie(b.src, b.dst);
   }
 };
+
+// Drops edges naming a vertex >= n (the shared endpoint-validation policy:
+// every engine counts and skips out-of-range edges instead of indexing past
+// its vertex array). Returns how many edges were removed.
+inline size_t RemoveOutOfRangeEdges(std::vector<Edge>* edges, VertexId n) {
+  size_t before = edges->size();
+  std::erase_if(*edges,
+                [n](const Edge& e) { return e.src >= n || e.dst >= n; });
+  return before - edges->size();
+}
 
 }  // namespace lsg
 

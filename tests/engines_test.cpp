@@ -166,7 +166,7 @@ TYPED_TEST(EngineTest, DeleteOfAbsentEdgesIsIgnored) {
 }
 
 TYPED_TEST(EngineTest, HighDegreeVertexCrossesAllRepresentations) {
-  constexpr VertexId kN = 4;
+  constexpr VertexId kN = 20016;
   auto g = MakeEngine<TypeParam>(kN);
   // One hub vertex accumulating 20k neighbors in shuffled order exercises
   // inline -> array -> RIA -> HITree (or PMA -> B-tree for Terrace).
@@ -236,6 +236,68 @@ TYPED_TEST(EngineTest, RandomizedChurnAgainstReference) {
   for (VertexId v = 0; v < kN; ++v) {
     ASSERT_EQ(Neighbors(*g, v), ref.Neighbors(v)) << "vertex " << v;
   }
+  EXPECT_TRUE(g->CheckInvariants());
+}
+
+TYPED_TEST(EngineTest, OutOfRangeEndpointsRejectedAndCounted) {
+  // Shared endpoint-validation policy (DESIGN.md "Endpoint validation"):
+  // edges naming a vertex >= num_vertices() are counted and skipped by every
+  // update path, probes on them report false, and no state changes.
+  constexpr VertexId kN = 16;
+  auto g = MakeEngine<TypeParam>(kN);
+  ASSERT_TRUE(g->InsertEdge(1, 2));
+
+  EXPECT_FALSE(g->InsertEdge(1, kN));
+  EXPECT_FALSE(g->InsertEdge(kN + 5, 1));
+  EXPECT_FALSE(g->DeleteEdge(1, kN));
+  EXPECT_EQ(g->oob_rejected(), 3u);
+  EXPECT_FALSE(g->HasEdge(1, kN));
+  EXPECT_FALSE(g->HasEdge(kN, 1));
+
+  // Batch paths: the whole out-of-range group and individual out-of-range
+  // destinations are skipped, valid edges still land.
+  std::vector<Edge> batch = {{2, 3}, {2, kN}, {kN, 3}, {kN, kN + 1}};
+  EXPECT_EQ(g->InsertBatch(batch), 1u);
+  EXPECT_EQ(g->oob_rejected(), 6u);
+  EXPECT_TRUE(g->HasEdge(2, 3));
+  EXPECT_EQ(g->num_edges(), 2u);
+
+  // BuildFromEdges filters before loading.
+  g->BuildFromEdges({{4, 5}, {4, kN + 2}, {kN + 2, 4}});
+  EXPECT_EQ(g->num_edges(), 1u);
+  EXPECT_TRUE(g->HasEdge(4, 5));
+  EXPECT_EQ(g->oob_rejected(), 8u);
+
+  // After growing the vertex set, the same ids become legal.
+  EXPECT_EQ(g->AddVertices(8), kN);
+  EXPECT_TRUE(g->InsertEdge(1, kN));
+  EXPECT_TRUE(g->HasEdge(1, kN));
+  EXPECT_EQ(g->oob_rejected(), 8u);
+  EXPECT_TRUE(g->CheckInvariants());
+}
+
+TYPED_TEST(EngineTest, AddVerticesPreservesExistingAdjacency) {
+  // CTreeGraph re-homes its Eytzinger vertex tree on growth; every engine
+  // must keep prior adjacency intact and serve the new ids.
+  constexpr VertexId kN = 100;
+  auto g = MakeEngine<TypeParam>(kN);
+  RefGraph ref(kN);
+  SplitMix64 rng(91);
+  for (int i = 0; i < 2000; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(kN));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(kN));
+    ASSERT_EQ(g->InsertEdge(u, v), ref.Insert(u, v));
+  }
+  EXPECT_EQ(g->AddVertices(57), kN);
+  EXPECT_EQ(g->num_vertices(), kN + 57u);
+  for (VertexId v = 0; v < kN; ++v) {
+    ASSERT_EQ(Neighbors(*g, v), ref.Neighbors(v)) << "vertex " << v;
+  }
+  for (VertexId v = kN; v < kN + 57; ++v) {
+    ASSERT_EQ(g->degree(v), 0u);
+  }
+  ASSERT_TRUE(g->InsertEdge(kN + 56, 0));
+  EXPECT_TRUE(g->HasEdge(kN + 56, 0));
   EXPECT_TRUE(g->CheckInvariants());
 }
 

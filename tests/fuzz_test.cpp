@@ -1,0 +1,256 @@
+// Differential fuzz harness tests: trace format round-trips, lockstep
+// smoke runs across every engine, divergence detection on an injected bug,
+// shrinker minimization, and replay determinism.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/testing/adapters.h"
+#include "src/testing/differential.h"
+#include "src/testing/generator.h"
+#include "src/testing/shrinker.h"
+#include "src/testing/trace.h"
+
+namespace lsg {
+namespace {
+
+AdapterFactory DefaultFactory() {
+  return [](VertexId n, ThreadPool* pool) {
+    return MakeDefaultAdapters(n, pool);
+  };
+}
+
+// Reference vs. a deterministically buggy oracle that drops some inserts.
+AdapterFactory BuggyFactory() {
+  return [](VertexId n, ThreadPool*) {
+    std::vector<std::unique_ptr<EngineAdapter>> out;
+    out.push_back(MakeReferenceAdapter(n));
+    out.push_back(MakeDropInsertAdapter(n, /*modulus=*/37, /*residue=*/13));
+    return out;
+  };
+}
+
+TEST(TraceFormatTest, SerializeParseRoundTrip) {
+  Trace trace;
+  trace.initial_vertices = 42;
+  TraceOp ins = TraceOp::Of(TraceOpKind::kInsert);
+  ins.u = 3;
+  ins.v = 9;
+  trace.ops.push_back(ins);
+  TraceOp batch = TraceOp::Of(TraceOpKind::kInsertBatch);
+  batch.edges = {{1, 2}, {2, 3}, {1, 2}};
+  trace.ops.push_back(batch);
+  TraceOp build = TraceOp::Of(TraceOpKind::kBuild);
+  build.edges = {{0, 1}};
+  trace.ops.push_back(build);
+  TraceOp add = TraceOp::Of(TraceOpKind::kAddVertices);
+  add.u = 5;
+  trace.ops.push_back(add);
+  trace.ops.push_back(TraceOp::Of(TraceOpKind::kSnapshot));
+  trace.ops.push_back(TraceOp::Of(TraceOpKind::kAudit));
+  TraceOp bfs = TraceOp::Of(TraceOpKind::kBfs);
+  bfs.u = 7;
+  trace.ops.push_back(bfs);
+
+  std::string text = SerializeTrace(trace);
+  Trace parsed;
+  std::string error;
+  ASSERT_TRUE(ParseTrace(text, &parsed, &error)) << error;
+  EXPECT_EQ(parsed, trace);
+  // Canonical: re-serializing is byte-identical (replay files are stable).
+  EXPECT_EQ(SerializeTrace(parsed), text);
+}
+
+TEST(TraceFormatTest, RejectsMalformedInput) {
+  Trace out;
+  EXPECT_FALSE(ParseTrace("", &out));
+  EXPECT_FALSE(ParseTrace("lsgfuzz 2\nv 4\n", &out));
+  EXPECT_FALSE(ParseTrace("lsgfuzz 1\ni 1 2\n", &out));        // op before v
+  EXPECT_FALSE(ParseTrace("lsgfuzz 1\nv 4\nI 2\ne 1 2\n", &out));  // truncated
+  EXPECT_FALSE(ParseTrace("lsgfuzz 1\nv 4\nz 1\n", &out));     // unknown op
+  EXPECT_FALSE(ParseTrace("lsgfuzz 1\nv 4\ne 1 2\n", &out));   // stray edge
+}
+
+TEST(TraceFormatTest, GeneratorIsDeterministic) {
+  GeneratorConfig config;
+  config.num_ops = 500;
+  Trace a = GenerateTrace(7, config);
+  Trace b = GenerateTrace(7, config);
+  EXPECT_EQ(a, b);
+  Trace c = GenerateTrace(8, config);
+  EXPECT_NE(a, c);
+}
+
+TEST(FuzzSmokeTest, AllEnginesAgreeSingleThread) {
+  GeneratorConfig gen;
+  gen.num_ops = 2000;
+  RunConfig run;
+  run.threads = 1;
+  run.audit_interval = 128;
+  run.memory_audit = true;
+  for (uint64_t seed : {1, 2, 3}) {
+    Divergence d = RunTrace(GenerateTrace(seed, gen), run, DefaultFactory());
+    EXPECT_FALSE(d.found) << "seed " << seed << ": op " << d.op_index << " ["
+                          << d.engine << "] " << d.message;
+  }
+}
+
+TEST(FuzzSmokeTest, AllEnginesAgreeMultiThread) {
+  GeneratorConfig gen;
+  gen.num_ops = 2000;
+  RunConfig run;
+  run.threads = 4;
+  run.audit_interval = 256;
+  for (uint64_t seed : {4, 5}) {
+    Divergence d = RunTrace(GenerateTrace(seed, gen), run, DefaultFactory());
+    EXPECT_FALSE(d.found) << "seed " << seed << ": op " << d.op_index << " ["
+                          << d.engine << "] " << d.message;
+  }
+}
+
+TEST(FuzzSmokeTest, ThreadCountDoesNotChangeResults) {
+  // The trace executor must be deterministic across pool sizes: a trace
+  // that runs clean at 1 thread runs clean at 8, and vice versa.
+  GeneratorConfig gen;
+  gen.num_ops = 1500;
+  Trace trace = GenerateTrace(11, gen);
+  for (int threads : {1, 2, 8}) {
+    RunConfig run;
+    run.threads = threads;
+    Divergence d = RunTrace(trace, run, DefaultFactory());
+    EXPECT_FALSE(d.found) << threads << " threads: " << d.message;
+  }
+}
+
+TEST(FuzzHarnessTest, DetectsInjectedBug) {
+  GeneratorConfig gen;
+  gen.num_ops = 2000;
+  RunConfig run;
+  Divergence d = RunTrace(GenerateTrace(21, gen), run, BuggyFactory());
+  ASSERT_TRUE(d.found);
+  EXPECT_EQ(d.engine, "drop-insert");
+}
+
+TEST(FuzzHarnessTest, ShrinkerMinimizesToReplayableTrace) {
+  GeneratorConfig gen;
+  gen.num_ops = 2000;
+  RunConfig run;
+  Trace trace = GenerateTrace(21, gen);
+  ASSERT_TRUE(RunTrace(trace, run, BuggyFactory()).found);
+
+  Trace small = MinimizeTrace(trace, run, BuggyFactory());
+  EXPECT_LE(small.ops.size(), 50u);
+  EXPECT_LT(small.ops.size(), trace.ops.size());
+
+  // The minimized trace still diverges, and survives a serialize/parse
+  // round trip byte-for-byte (replay determinism).
+  std::string text = SerializeTrace(small);
+  Trace replayed;
+  std::string error;
+  ASSERT_TRUE(ParseTrace(text, &replayed, &error)) << error;
+  EXPECT_EQ(SerializeTrace(replayed), text);
+  Divergence again = RunTrace(replayed, run, BuggyFactory());
+  ASSERT_TRUE(again.found);
+  EXPECT_EQ(again.engine, "drop-insert");
+
+  // Minimization is deterministic.
+  EXPECT_EQ(MinimizeTrace(trace, run, BuggyFactory()), small);
+}
+
+TEST(FuzzHarnessTest, OutOfRangeEdgesViaReplayFormat) {
+  // Regression for the endpoint-validation policy, expressed in the replay
+  // format: every engine must count and skip out-of-range endpoints exactly
+  // like the reference (the audit compares oob counters), and the final
+  // snapshot confirms no stray adjacency was created.
+  const std::string text =
+      "lsgfuzz 1\n"
+      "v 8\n"
+      "i 0 100\n"     // single insert, dst out of range
+      "i 100 0\n"     // single insert, src out of range
+      "d 3 99\n"      // delete of an out-of-range edge
+      "q 0 100\n"     // probe must report false everywhere
+      "I 3\n"
+      "e 1 2\n"
+      "e 1 9\n"       // batch: one valid edge, two rejects
+      "e 9 1\n"
+      "B 2\n"
+      "e 2 3\n"
+      "e 2 12\n"      // rebuild with one out-of-range edge
+      "a 8\n"         // grow; ids 8..15 become valid
+      "i 1 12\n"      // now in range
+      "s\n"
+      "c\n";
+  Trace trace;
+  std::string error;
+  ASSERT_TRUE(ParseTrace(text, &trace, &error)) << error;
+  RunConfig run;
+  Divergence d = RunTrace(trace, run, DefaultFactory());
+  EXPECT_FALSE(d.found) << "op " << d.op_index << " [" << d.engine << "] "
+                        << d.message;
+}
+
+TEST(FuzzHarnessTest, MemoryAuditFlagsRetention) {
+  // A cohort whose engine under test retains 100x a fresh build must trip
+  // the footprint audit. Simulated with a reference wrapper reporting
+  // inflated live footprints.
+  class Bloated : public EngineAdapter {
+   public:
+    explicit Bloated(VertexId n) : inner_(MakeReferenceAdapter(n)) {}
+    std::string_view name() const override { return "bloated"; }
+    bool InsertEdge(VertexId s, VertexId t) override {
+      return inner_->InsertEdge(s, t);
+    }
+    bool DeleteEdge(VertexId s, VertexId t) override {
+      return inner_->DeleteEdge(s, t);
+    }
+    size_t InsertBatch(std::span<const Edge> b) override {
+      return inner_->InsertBatch(b);
+    }
+    size_t DeleteBatch(std::span<const Edge> b) override {
+      return inner_->DeleteBatch(b);
+    }
+    void BuildFromEdges(std::vector<Edge> e) override {
+      inner_->BuildFromEdges(std::move(e));
+    }
+    VertexId AddVertices(VertexId c) override { return inner_->AddVertices(c); }
+    bool HasEdge(VertexId s, VertexId t) const override {
+      return inner_->HasEdge(s, t);
+    }
+    size_t Degree(VertexId v) const override { return inner_->Degree(v); }
+    VertexId NumVertices() const override { return inner_->NumVertices(); }
+    EdgeCount NumEdges() const override { return inner_->NumEdges(); }
+    uint64_t OobRejected() const override { return inner_->OobRejected(); }
+    std::vector<VertexId> Neighbors(VertexId v) const override {
+      return inner_->Neighbors(v);
+    }
+    bool CheckInvariants() const override { return inner_->CheckInvariants(); }
+    size_t LiveFootprint() const override { return 100 << 20; }
+    size_t FreshFootprint() const override { return 1 << 20; }
+
+   private:
+    std::unique_ptr<EngineAdapter> inner_;
+  };
+
+  Trace trace;
+  trace.initial_vertices = 4;
+  TraceOp ins = TraceOp::Of(TraceOpKind::kInsert);
+  ins.u = 0;
+  ins.v = 1;
+  trace.ops.push_back(ins);
+  RunConfig run;
+  run.memory_audit = true;
+  Divergence d = RunTrace(trace, run, [](VertexId n, ThreadPool*) {
+    std::vector<std::unique_ptr<EngineAdapter>> out;
+    out.push_back(MakeReferenceAdapter(n));
+    out.push_back(std::make_unique<Bloated>(n));
+    return out;
+  });
+  ASSERT_TRUE(d.found);
+  EXPECT_EQ(d.engine, "bloated");
+  EXPECT_NE(d.message.find("footprint retention"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lsg

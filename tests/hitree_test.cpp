@@ -162,6 +162,82 @@ TEST(HiNodeTest, DeleteToEmptyAndReuse) {
   EXPECT_TRUE(node.Contains(9));
 }
 
+TEST(HiNodeTest, ArrayToRiaUpgradeDoesNotAliasItsOwnBuffer) {
+  // Regression: the array -> RIA upgrade used to pass a span over array_
+  // into BulkLoad, which clears array_ before reading the span — a
+  // read-after-clear that ASan's container annotations flag and that can
+  // silently corrupt the new RIA. The upgrade must stage the ids in a
+  // local buffer.
+  Options o = SmallThresholds();
+  HiNode node(o);
+  std::vector<VertexId> ids = Iota(o.a_threshold + 1, 3);
+  for (VertexId v : ids) {
+    ASSERT_TRUE(node.Insert(v));  // the last insert crosses a_threshold
+  }
+  EXPECT_EQ(node.kind(), HiNode::Kind::kRia);
+  EXPECT_EQ(node.size(), ids.size());
+  EXPECT_EQ(node.Decode(), ids);
+  EXPECT_TRUE(node.CheckInvariants());
+}
+
+TEST(HiNodeTest, DeleteDowngradesRepresentation) {
+  CoreStats stats;
+  Options o = SmallThresholds(&stats);
+  HiNode node(o);
+  node.BulkLoad(Iota(2 * o.m_threshold));
+  ASSERT_EQ(node.kind(), HiNode::Kind::kLia);
+  size_t lia_footprint = node.memory_footprint();
+  // Shrink past half of M: LIA must give way to RIA.
+  for (VertexId v = 2 * o.m_threshold; v-- > o.m_threshold / 2;) {
+    ASSERT_TRUE(node.Delete(v));
+  }
+  EXPECT_EQ(node.kind(), HiNode::Kind::kRia);
+  EXPECT_GT(stats.hitree_to_ria_conversions.load(), 0u);
+  EXPECT_LT(node.memory_footprint(), lia_footprint / 2);
+  // Shrink past half of A: RIA must give way to the plain array.
+  for (VertexId v = o.m_threshold / 2; v-- > o.a_threshold / 4;) {
+    ASSERT_TRUE(node.Delete(v));
+  }
+  EXPECT_EQ(node.kind(), HiNode::Kind::kArray);
+  EXPECT_GT(stats.ria_to_array_conversions.load(), 0u);
+  EXPECT_EQ(node.size(), o.a_threshold / 4);
+  EXPECT_EQ(node.Decode(), Iota(o.a_threshold / 4));
+  EXPECT_TRUE(node.CheckInvariants());
+}
+
+TEST(LiaTest, DetachedChildSlotsAreReused) {
+  // Regression: DetachChild left its children_ slot null forever, so
+  // delete/insert churn through child creation grew children_ (and the
+  // footprint) without bound. The free-slot list must cap it.
+  Options o = SmallThresholds();
+  // Dense cluster + sparse tail defeats the linear model and forces child
+  // creation at bulkload and on re-insertion.
+  std::vector<VertexId> cluster = Iota(300);
+  std::vector<VertexId> all = cluster;
+  for (VertexId v = 0; v < 50; ++v) {
+    all.push_back(1000000 + v * 1000);
+  }
+  Lia lia(o, all);
+  ASSERT_TRUE(lia.CheckInvariants());
+  size_t baseline = 0;
+  for (int cycle = 0; cycle < 12; ++cycle) {
+    for (VertexId v : cluster) {
+      ASSERT_TRUE(lia.Delete(v));  // drains every cluster child
+    }
+    for (VertexId v : cluster) {
+      ASSERT_TRUE(lia.Insert(v));  // re-creates them
+    }
+    ASSERT_TRUE(lia.CheckInvariants()) << "cycle " << cycle;
+    if (cycle == 1) {
+      baseline = lia.memory_footprint();
+    }
+  }
+  EXPECT_EQ(lia.size(), all.size());
+  // Without slot reuse the footprint grows every cycle; with it, ten more
+  // churn cycles stay within a small slack of the early-cycle footprint.
+  EXPECT_LE(lia.memory_footprint(), baseline + baseline / 4);
+}
+
 struct HiParam {
   uint32_t a;
   uint32_t m;

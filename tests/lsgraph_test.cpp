@@ -20,19 +20,19 @@ std::vector<VertexId> Neighbors(const LSGraph& g, VertexId v) {
 }
 
 TEST(LSGraphTest, InlineOnlyVertexNeverAllocatesTail) {
-  LSGraph g(4);
+  LSGraph g(128);
   for (VertexId v = 0; v < LSGraph::kInlineCap; ++v) {
     g.InsertEdge(0, v + 100);
   }
   EXPECT_EQ(g.degree(0), LSGraph::kInlineCap);
   // The whole adjacency fits one cache line: footprint stays at the vertex
   // block array.
-  EXPECT_EQ(g.memory_footprint(), 4 * kCacheLineBytes);
+  EXPECT_EQ(g.memory_footprint(), 128 * kCacheLineBytes);
   EXPECT_EQ(g.index_bytes(), 0u);
 }
 
 TEST(LSGraphTest, InlineKeepsSmallestIds) {
-  LSGraph g(2);
+  LSGraph g(128);
   // Insert descending so the inline run must keep rotating.
   for (VertexId v = 100; v-- > 0;) {
     ASSERT_TRUE(g.InsertEdge(0, v));
@@ -49,7 +49,7 @@ TEST(LSGraphTest, SmallMThresholdProducesHiTreeTails) {
   options.a_threshold = 16;
   options.m_threshold = 64;
   options.block_size = 8;
-  LSGraph g(2, options);
+  LSGraph g(1024, options);
   std::vector<Edge> batch;
   for (VertexId v = 0; v < 1000; ++v) {
     batch.push_back(Edge{0, v});
@@ -65,7 +65,7 @@ TEST(LSGraphTest, SmallMThresholdProducesHiTreeTails) {
 }
 
 TEST(LSGraphTest, DeleteBackfillsInlineFromTail) {
-  LSGraph g(2);
+  LSGraph g(128);
   for (VertexId v = 0; v < 100; ++v) {
     g.InsertEdge(1, v);
   }
@@ -136,6 +136,75 @@ TEST(LSGraphTest, FillNeighborsAppends) {
   std::vector<VertexId> out = {99};
   g.FillNeighbors(0, &out);
   EXPECT_EQ(out, (std::vector<VertexId>{99, 1, 3}));
+}
+
+TEST(LSGraphTest, RebuildReplacesAllAdjacency) {
+  // Regression: BuildFromEdges on a non-empty engine used to overwrite
+  // vb.tail without freeing the old HiNode (leak) and left vertices absent
+  // from the new list with their stale adjacency.
+  LSGraph g(256);
+  RmatGenerator gen({8, 0.5, 0.1, 0.1}, 9);
+  g.BuildFromEdges(gen.Generate(0, 20000));
+  ASSERT_GT(g.degree(7), 0u);
+  // Rebuild with a disjoint edge list touching only vertex 1.
+  std::vector<Edge> second;
+  for (VertexId v = 2; v < 100; ++v) {
+    second.push_back(Edge{1, v});
+  }
+  g.BuildFromEdges(second);
+  EXPECT_EQ(g.num_edges(), second.size());
+  EXPECT_EQ(g.degree(1), second.size());
+  for (VertexId v = 0; v < 256; ++v) {
+    if (v != 1) {
+      EXPECT_EQ(g.degree(v), 0u) << "stale adjacency on vertex " << v;
+    }
+  }
+  EXPECT_TRUE(g.CheckInvariants());
+  // Footprint matches a fresh engine built straight from the second list:
+  // nothing from the first build is retained.
+  LSGraph fresh(256);
+  fresh.BuildFromEdges(second);
+  EXPECT_EQ(g.memory_footprint(), fresh.memory_footprint());
+}
+
+TEST(LSGraphTest, DeleteHeavyStreamReleasesFootprint) {
+  // Regression for delete-path retention: draining 90% of a hub vertex
+  // must release tail structures (drained-tail free + LIA->RIA->array
+  // downgrades + RIA contraction), not pin the high-water representation.
+  Options o;
+  o.m_threshold = 1024;
+  LSGraph g(40000, o);
+  std::vector<Edge> edges;
+  for (VertexId u = 13; u < 40000; ++u) {
+    edges.push_back(Edge{0, u});  // hub vertex, LIA-sized tail
+  }
+  g.BuildFromEdges(edges);
+  ASSERT_GT(g.degree(0), 30000u);
+  size_t peak = g.memory_footprint();
+  std::vector<Edge> dels;
+  VertexId kept = 0;
+  g.map_neighbors(0, [&](VertexId u) {
+    if (kept++ % 100 != 0) {
+      dels.push_back(Edge{0, u});  // keep 1 in 100: shrinks past M/2
+    }
+  });
+  g.DeleteBatch(dels);
+  EXPECT_TRUE(g.CheckInvariants());
+  EXPECT_GT(g.stats().hitree_to_ria_conversions.load() +
+                g.stats().ria_to_array_conversions.load() +
+                g.stats().ria_contractions.load(),
+            0u);
+  // Rebuilding the surviving edges from scratch gives the floor; the live
+  // engine must be within a small constant factor of it, far below peak.
+  std::vector<Edge> survivors;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    g.map_neighbors(v, [&](VertexId u) { survivors.push_back(Edge{v, u}); });
+  }
+  LSGraph fresh(g.num_vertices(), o);
+  fresh.BuildFromEdges(survivors);
+  EXPECT_LT(g.memory_footprint(),
+            3 * fresh.memory_footprint() + (size_t{1} << 16));
+  EXPECT_LT(g.memory_footprint(), peak);
 }
 
 TEST(LSGraphTest, IndexOverheadStaysSmall) {

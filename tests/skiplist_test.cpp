@@ -146,7 +146,7 @@ TEST(SortledtonGraphTest, MatchesReferenceUnderChurn) {
 }
 
 TEST(SortledtonGraphTest, PromotesToSkipListAtThreshold) {
-  SortledtonGraph g(2);
+  SortledtonGraph g(512);
   for (VertexId v = 0; v <= SortledtonGraph::kSmallSetMax + 50; ++v) {
     ASSERT_TRUE(g.InsertEdge(0, v));
   }
@@ -159,6 +159,33 @@ TEST(SortledtonGraphTest, PromotesToSkipListAtThreshold) {
   EXPECT_TRUE(g.HasEdge(0, 100));
   EXPECT_TRUE(g.DeleteEdge(0, 100));
   EXPECT_FALSE(g.HasEdge(0, 100));
+  EXPECT_TRUE(g.CheckInvariants());
+}
+
+TEST(SortledtonGraphTest, OutOfRangeEndpointsRejectedAndCounted) {
+  // Same endpoint-validation policy as the other engines (DESIGN.md
+  // "Endpoint validation"): out-of-range endpoints are counted and skipped
+  // on every path, including the skip-list promoted adjacency.
+  SortledtonGraph g(8);
+  EXPECT_FALSE(g.InsertEdge(0, 8));
+  EXPECT_FALSE(g.InsertEdge(9, 0));
+  EXPECT_FALSE(g.DeleteEdge(0, 8));
+  EXPECT_FALSE(g.HasEdge(0, 8));
+  EXPECT_FALSE(g.HasEdge(8, 0));
+  EXPECT_EQ(g.oob_rejected(), 3u);
+  EXPECT_EQ(g.num_edges(), 0u);
+
+  std::vector<Edge> batch = {{0, 1}, {0, 8}, {8, 1}};
+  EXPECT_EQ(g.InsertBatch(batch), 1u);
+  EXPECT_EQ(g.oob_rejected(), 5u);
+  g.BuildFromEdges({{2, 3}, {2, 9}, {9, 2}});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.oob_rejected(), 7u);
+
+  EXPECT_EQ(g.AddVertices(4), 8u);
+  EXPECT_TRUE(g.InsertEdge(0, 8));
+  EXPECT_TRUE(g.HasEdge(0, 8));
+  EXPECT_EQ(g.oob_rejected(), 7u);
   EXPECT_TRUE(g.CheckInvariants());
 }
 

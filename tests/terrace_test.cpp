@@ -21,10 +21,10 @@ std::vector<VertexId> Neighbors(const TerraceGraph& g, VertexId v) {
 TEST(TerraceTest, MigratesToBTreeAtThreshold) {
   TerraceOptions options;
   options.high_degree_threshold = 100;
-  TerraceGraph g(4, options);
+  TerraceGraph g(100000, options);
   // Push one vertex past inline + threshold; adjacency must stay exact
   // across the PMA -> B-tree migration.
-  RefGraph ref(4);
+  RefGraph ref(100000);
   for (VertexId v = 0; v < 500; ++v) {
     VertexId dst = (v * 2654435761u) % 100000;  // scrambled order
     ASSERT_EQ(g.InsertEdge(0, dst), ref.Insert(0, dst)) << v;
@@ -37,7 +37,7 @@ TEST(TerraceTest, MigratesToBTreeAtThreshold) {
 TEST(TerraceTest, DeletesWorkAcrossMigration) {
   TerraceOptions options;
   options.high_degree_threshold = 64;
-  TerraceGraph g(2, options);
+  TerraceGraph g(1024, options);
   for (VertexId v = 0; v < 300; ++v) {
     g.InsertEdge(1, v * 3);
   }
@@ -75,7 +75,7 @@ TEST(TerraceTest, OffsetArrayStaysFreshAcrossUpdates) {
 TEST(TerraceTest, SharedPmaKeepsGlobalOrder) {
   // Interleaved inserts across vertices end in one globally sorted array;
   // per-vertex ranges must not bleed into each other.
-  TerraceGraph g(8);
+  TerraceGraph g(256);
   for (VertexId dst = 0; dst < 200; ++dst) {
     for (VertexId src = 0; src < 8; ++src) {
       g.InsertEdge(src, dst * 7 % 200);

@@ -1,0 +1,142 @@
+// Differential fuzzing driver.
+//
+// Generates seed-driven op traces and executes them in lockstep against the
+// reference oracle and all four engines; on divergence, minimizes the
+// failing trace with delta debugging and writes a replay file.
+//
+//   fuzz_engines --seed=1 --runs=4 --ops=10000 --threads=8
+//   fuzz_engines --replay=failure.trace [--threads=N]
+//
+// Flags:
+//   --seed=N            base seed (default 1); run r uses seed+r
+//   --runs=N            number of traces to run (default 1)
+//   --ops=N             ops per generated trace (default 10000)
+//   --vertices=N        initial vertex count (default 96)
+//   --max-batch=N       max batch/build payload size (default 512)
+//   --threads=N         engine thread-pool size (default 1)
+//   --audit-interval=N  invariant audit cadence in ops (default 256)
+//   --memory-audit      enable the LSGraph footprint-retention audit
+//   --no-minimize       skip shrinking on divergence
+//   --out=FILE          where to write the minimized trace
+//                       (default fuzz_failure.trace)
+//   --replay=FILE       re-execute a trace file instead of generating
+//
+// Exit status: 0 = clean, 1 = divergence found, 2 = usage/file error.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/testing/differential.h"
+#include "src/testing/generator.h"
+#include "src/testing/shrinker.h"
+#include "src/testing/trace.h"
+
+namespace {
+
+bool ParseFlag(const char* arg, const char* name, const char** value) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+void ReportDivergence(const lsg::Divergence& d) {
+  std::fprintf(stderr, "DIVERGENCE at op %zu, engine %s: %s\n", d.op_index,
+               d.engine.c_str(), d.message.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t seed = 1;
+  int runs = 1;
+  lsg::GeneratorConfig gen;
+  lsg::RunConfig run;
+  bool minimize = true;
+  bool memory_audit = false;
+  std::string out_path = "fuzz_failure.trace";
+  std::string replay_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (ParseFlag(argv[i], "--seed", &v)) {
+      seed = std::strtoull(v, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--runs", &v)) {
+      runs = std::atoi(v);
+    } else if (ParseFlag(argv[i], "--ops", &v)) {
+      gen.num_ops = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (ParseFlag(argv[i], "--vertices", &v)) {
+      gen.initial_vertices =
+          static_cast<lsg::VertexId>(std::strtoul(v, nullptr, 10));
+    } else if (ParseFlag(argv[i], "--max-batch", &v)) {
+      gen.max_batch = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (ParseFlag(argv[i], "--threads", &v)) {
+      run.threads = std::atoi(v);
+    } else if (ParseFlag(argv[i], "--audit-interval", &v)) {
+      run.audit_interval = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--memory-audit") == 0) {
+      memory_audit = true;
+    } else if (std::strcmp(argv[i], "--no-minimize") == 0) {
+      minimize = false;
+    } else if (ParseFlag(argv[i], "--out", &v)) {
+      out_path = v;
+    } else if (ParseFlag(argv[i], "--replay", &v)) {
+      replay_path = v;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  run.memory_audit = memory_audit;
+
+  if (!replay_path.empty()) {
+    lsg::Trace trace;
+    std::string error;
+    if (!lsg::ReadTraceFile(replay_path, &trace, &error)) {
+      std::fprintf(stderr, "cannot replay %s: %s\n", replay_path.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    lsg::Divergence d = lsg::RunTrace(trace, run);
+    if (d) {
+      ReportDivergence(d);
+      return 1;
+    }
+    std::printf("replay of %s (%zu ops): clean\n", replay_path.c_str(),
+                trace.ops.size());
+    return 0;
+  }
+
+  for (int r = 0; r < runs; ++r) {
+    uint64_t run_seed = seed + static_cast<uint64_t>(r);
+    lsg::Trace trace = lsg::GenerateTrace(run_seed, gen);
+    lsg::Divergence d = lsg::RunTrace(trace, run);
+    if (!d) {
+      std::printf("seed %llu: %zu ops clean (%d threads)\n",
+                  static_cast<unsigned long long>(run_seed), trace.ops.size(),
+                  run.threads);
+      continue;
+    }
+    ReportDivergence(d);
+    if (minimize) {
+      lsg::Trace small = lsg::MinimizeTrace(
+          trace, run, [](lsg::VertexId n, lsg::ThreadPool* pool) {
+            return lsg::MakeDefaultAdapters(n, pool);
+          });
+      std::fprintf(stderr, "minimized %zu ops -> %zu ops\n", trace.ops.size(),
+                   small.ops.size());
+      trace = std::move(small);
+    }
+    if (lsg::WriteTraceFile(out_path, trace)) {
+      std::fprintf(stderr, "replay file written to %s\n", out_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    }
+    return 1;
+  }
+  return 0;
+}
