@@ -121,6 +121,76 @@ void RunDataset(const DatasetSpec& spec, ThreadPool& pool) {
   }
 }
 
+// Direction-optimization study (§6.3): push-only vs auto (Beamer) BFS on the
+// same graph, plus the pull scan's early-exit effectiveness — neighbors
+// actually decoded as a share of the degree sum the scan covered. Auto must
+// not lose to push-only; on dense levels the decoded share sits well under
+// 100% because a claimed vertex stops decoding immediately.
+void RunDirectionStudy(const DatasetSpec& spec, ThreadPool& pool) {
+  auto g = MakeLsGraph(spec, &pool);
+  VertexId source = 0;
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    if (g->degree(v) > g->degree(source)) {
+      source = v;
+    }
+  }
+
+  (void)BfsPush(*g, source, pool);  // warmup
+  Timer timer;
+  (void)BfsPush(*g, source, pool);
+  double push_s = timer.Seconds();
+
+  CoreStats stats;
+  EdgeMapOptions auto_options;
+  auto_options.stats = &stats;
+  (void)Bfs(*g, source, pool, auto_options);  // warmup
+  stats.Clear();
+  timer.Reset();
+  (void)Bfs(*g, source, pool, auto_options);
+  double auto_s = timer.Seconds();
+
+  uint64_t decoded = stats.pull_neighbors_decoded.load();
+  uint64_t degree = stats.pull_degree_scanned.load();
+  std::printf(
+      "%-4s BFS push %.4fs  auto %.4fs (%.2fx)  rounds push/pull %llu/%llu  "
+      "decoded/degree %.1f%%  early-exits %llu\n",
+      spec.name.c_str(), push_s, auto_s, auto_s > 0 ? push_s / auto_s : 0.0,
+      static_cast<unsigned long long>(stats.edgemap_push_rounds.load()),
+      static_cast<unsigned long long>(stats.edgemap_pull_rounds.load()),
+      degree > 0 ? 100.0 * decoded / degree : 0.0,
+      static_cast<unsigned long long>(stats.pull_early_exits.load()));
+
+  // Frontier prep: the cached parallel EdgeSum vs a serial degree loop over
+  // the same frontier. This is the regression guard for the old serial
+  // summation — prep must scale O(|frontier|/P), so the parallel path should
+  // not be slower than serial outside of noise on small inputs.
+  std::vector<VertexId> ids(g->num_vertices());
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    ids[v] = v;
+  }
+  VertexSubset frontier =
+      VertexSubset::FromVertices(g->num_vertices(), std::move(ids));
+  timer.Reset();
+  uint64_t par_sum = frontier.EdgeSum(*g, pool);
+  double par_s = timer.Seconds();
+  timer.Reset();
+  uint64_t ser_sum = 0;
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    ser_sum += g->degree(v);
+  }
+  double ser_s = timer.Seconds();
+  if (par_sum != ser_sum) {
+    std::printf("     EdgeSum MISMATCH parallel %llu vs serial %llu\n",
+                static_cast<unsigned long long>(par_sum),
+                static_cast<unsigned long long>(ser_sum));
+    std::abort();
+  }
+  std::printf("     frontier prep (EdgeSum, |F|=%u): parallel %.5fs  "
+              "serial %.5fs  speedup %.2fx\n",
+              g->num_vertices(), par_s, ser_s,
+              par_s > 0 ? ser_s / par_s : 0.0);
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace lsg
@@ -133,6 +203,11 @@ int main() {
   ThreadPool pool;
   for (const DatasetSpec& spec : BenchDatasets()) {
     RunDataset(spec, pool);
+  }
+  std::printf("\n--- Direction optimization (push vs auto) + pull early exit "
+              "---\n");
+  for (const DatasetSpec& spec : BenchDatasets()) {
+    RunDirectionStudy(spec, pool);
   }
   return 0;
 }

@@ -123,7 +123,8 @@ int main(int argc, char** argv) {
       std::printf(shown > 32 ? "... (%zu total)\n" : "(%zu total)\n", shown);
     } else if (std::strcmp(cmd, "bfs") == 0 &&
                std::sscanf(line, "%*s %lu", &a) == 1 && a < n) {
-      BfsResult r = Bfs(graph, static_cast<VertexId>(a), pool);
+      // Push-only: CLI edge lists are not necessarily symmetrized.
+      BfsResult r = BfsPush(graph, static_cast<VertexId>(a), pool);
       uint32_t max_level = 0;
       for (uint32_t l : r.level) {
         if (l != ~uint32_t{0}) {
@@ -153,7 +154,10 @@ int main(int argc, char** argv) {
         std::printf("v%u: %.6f (deg %zu)\n", v, rank[v], graph.degree(v));
       }
     } else if (std::strcmp(cmd, "cc") == 0) {
-      std::vector<VertexId> labels = ConnectedComponents(graph, pool);
+      // Push-only for the same reason as bfs: input may be directed.
+      EdgeMapOptions push_only;
+      push_only.direction = Direction::kPush;
+      std::vector<VertexId> labels = ConnectedComponents(graph, pool, push_only);
       std::map<VertexId, size_t> sizes;
       for (VertexId v = 0; v < n; ++v) {
         ++sizes[labels[v]];
@@ -169,7 +173,9 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(
                       TriangleCount(graph, pool).triangles));
     } else if (std::strcmp(cmd, "kcore") == 0) {
-      std::vector<uint32_t> core = KCoreDecomposition(graph, pool);
+      EdgeMapOptions push_only;
+      push_only.direction = Direction::kPush;
+      std::vector<uint32_t> core = KCoreDecomposition(graph, pool, push_only);
       std::printf("max coreness %u\n",
                   *std::max_element(core.begin(), core.end()));
     } else if (std::strcmp(cmd, "stats") == 0) {

@@ -9,6 +9,7 @@
 // BFS from scratch.
 //
 //   ./incremental_bfs [scale]
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -32,6 +33,10 @@ size_t IncrementalRelax(const LSGraph& g, std::vector<uint32_t>& level,
   for (size_t v = 0; v < level.size(); ++v) {
     alevel[v].store(level[v], std::memory_order_relaxed);
   }
+  // The rMat stream is not symmetrized, so the traversal must stay push-only
+  // (pull reads out-neighbors as in-neighbors).
+  EdgeMapOptions push_only;
+  push_only.direction = Direction::kPush;
   while (!frontier.empty()) {
     touched += frontier.size();
     frontier = EdgeMap(
@@ -51,7 +56,7 @@ size_t IncrementalRelax(const LSGraph& g, std::vector<uint32_t>& level,
           }
           return false;
         },
-        [](VertexId) { return true; }, pool);
+        [](VertexId) { return true; }, pool, push_only);
   }
   for (size_t v = 0; v < level.size(); ++v) {
     level[v] = alevel[v].load(std::memory_order_relaxed);
@@ -72,7 +77,7 @@ int main(int argc, char** argv) {
   ThreadPool& pool = ThreadPool::Global();
 
   constexpr VertexId kSource = 0;
-  BfsResult full = Bfs(graph, kSource, pool);
+  BfsResult full = BfsPush(graph, kSource, pool);
   std::vector<uint32_t> level = full.level;
   std::printf("initial BFS: reached %zu of %u vertices\n", full.reached, n);
 
@@ -82,18 +87,23 @@ int main(int argc, char** argv) {
     cursor += batch.size();
     graph.InsertBatch(batch);
 
-    // Seed with insertion endpoints that can propagate an improvement.
-    VertexSubset seeds(n);
+    // Seed with insertion endpoints that can propagate an improvement
+    // (deduplicated: VertexSubset ids are unique).
+    std::vector<VertexId> seed_ids;
     for (const Edge& e : batch) {
       if (level[e.src] != ~uint32_t{0} && level[e.src] + 1 < level[e.dst]) {
-        seeds.mutable_vertices().push_back(e.src);
+        seed_ids.push_back(e.src);
       }
     }
+    std::sort(seed_ids.begin(), seed_ids.end());
+    seed_ids.erase(std::unique(seed_ids.begin(), seed_ids.end()),
+                   seed_ids.end());
+    VertexSubset seeds = VertexSubset::FromVertices(n, std::move(seed_ids));
     Timer timer;
     size_t touched = IncrementalRelax(graph, level, std::move(seeds), pool);
     double inc_ms = timer.Millis();
     timer.Reset();
-    BfsResult fresh = Bfs(graph, kSource, pool);
+    BfsResult fresh = BfsPush(graph, kSource, pool);
     double full_ms = timer.Millis();
 
     bool agree = fresh.level == level;

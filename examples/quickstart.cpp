@@ -52,7 +52,9 @@ int main(int argc, char** argv) {
   // 4. Analytics on the live graph. Kernels are templates over the engine;
   //    the same code runs against the Terrace/Aspen/PaC-tree baselines.
   ThreadPool& pool = ThreadPool::Global();
-  BfsResult bfs = Bfs(graph, /*source=*/0, pool);
+  // Push-only: loaded edge lists are not necessarily symmetrized, and the
+  // pull direction of the default auto-BFS assumes an undirected graph.
+  BfsResult bfs = BfsPush(graph, /*source=*/0, pool);
   std::printf("BFS from vertex 0 reached %zu vertices\n", bfs.reached);
 
   std::vector<double> rank = PageRank(graph, pool);

@@ -18,7 +18,8 @@ namespace lsg {
 
 template <typename G>
 std::vector<double> BetweennessCentrality(const G& g, VertexId source,
-                                          ThreadPool& pool) {
+                                          ThreadPool& pool,
+                                          const EdgeMapOptions& options = {}) {
   VertexId n = g.num_vertices();
   std::vector<uint32_t> level(n, ~uint32_t{0});
   std::vector<double> sigma(n, 0.0);
@@ -33,7 +34,7 @@ std::vector<double> BetweennessCentrality(const G& g, VertexId source,
   owner[source].store(source, std::memory_order_relaxed);
 
   VertexSubset frontier = VertexSubset::Single(n, source);
-  levels.push_back(frontier.vertices());
+  levels.push_back(frontier.vertices(&pool));
   uint32_t depth = 0;
   while (!frontier.empty()) {
     ++depth;
@@ -47,25 +48,26 @@ std::vector<double> BetweennessCentrality(const G& g, VertexId source,
         [&owner](VertexId v) {
           return owner[v].load(std::memory_order_relaxed) == kInvalidVertex;
         },
-        pool);
+        pool, options);
     if (frontier.empty()) {
       break;
     }
-    for (VertexId v : frontier.vertices()) {
-      level[v] = depth;
-    }
+    uint32_t* level_data = level.data();
+    frontier.ForEach(pool, [level_data, depth](VertexId v, size_t /*tid*/) {
+      level_data[v] = depth;
+    });
     // Pull path counts from the previous level.
-    pool.ParallelFor(0, frontier.size(), [&](size_t i) {
-      VertexId v = frontier.vertices()[i];
+    double* sigma_data = sigma.data();
+    frontier.ForEach(pool, [&](VertexId v, size_t /*tid*/) {
       double sum = 0.0;
       g.map_neighbors(v, [&](VertexId u) {
         if (level[u] + 1 == level[v]) {
           sum += sigma[u];
         }
       });
-      sigma[v] = sum;
+      sigma_data[v] = sum;
     });
-    levels.push_back(frontier.vertices());
+    levels.push_back(frontier.vertices(&pool));
   }
 
   // Backward dependency accumulation.

@@ -1,4 +1,11 @@
 // Parallel breadth-first search over any engine (paper §6.3).
+//
+// One EdgeMap entry point owns direction selection: with the default
+// EdgeMapOptions the traversal is direction-optimized (Beamer-style push
+// until the frontier's edge volume crosses the dense threshold, then pull
+// with per-vertex early exit), which requires a symmetrized graph. Pass
+// Direction::kPush for a push-only traversal on asymmetric graphs. Levels
+// are identical either way; parents may differ within a level, as permitted.
 #ifndef SRC_ANALYTICS_BFS_H_
 #define SRC_ANALYTICS_BFS_H_
 
@@ -18,7 +25,8 @@ struct BfsResult {
 };
 
 template <typename G>
-BfsResult Bfs(const G& g, VertexId source, ThreadPool& pool) {
+BfsResult Bfs(const G& g, VertexId source, ThreadPool& pool,
+              const EdgeMapOptions& options = {}) {
   VertexId n = g.num_vertices();
   BfsResult result;
   result.parent.assign(n, kInvalidVertex);
@@ -46,70 +54,26 @@ BfsResult Bfs(const G& g, VertexId source, ThreadPool& pool) {
         [&owner](VertexId v) {
           return owner[v].load(std::memory_order_relaxed) == kInvalidVertex;
         },
-        pool);
-    for (VertexId v : frontier.vertices()) {
-      result.parent[v] = owner[v].load(std::memory_order_relaxed);
-      result.level[v] = depth;
-    }
+        pool, options);
+    VertexId* parent = result.parent.data();
+    uint32_t* level = result.level.data();
+    frontier.ForEach(pool, [&owner, parent, level, depth](VertexId v,
+                                                          size_t /*tid*/) {
+      parent[v] = owner[v].load(std::memory_order_relaxed);
+      level[v] = depth;
+    });
     result.reached += frontier.size();
   }
   return result;
 }
 
-// Direction-optimized BFS (Beamer-style): push while the frontier is small,
-// pull when the frontier's edge volume passes a fraction of |E|. Requires a
-// symmetrized graph (pull reads out-neighbors as in-neighbors). Produces the
-// same levels as Bfs; parents may differ within a level, as permitted.
+// Push-only BFS: never flips to the pull scan, so it stays correct on
+// graphs that are not symmetrized.
 template <typename G>
-BfsResult BfsDirOpt(const G& g, VertexId source, ThreadPool& pool,
-                    double dense_threshold = 0.05) {
-  VertexId n = g.num_vertices();
-  BfsResult result;
-  result.parent.assign(n, kInvalidVertex);
-  result.level.assign(n, ~uint32_t{0});
-  std::vector<std::atomic<VertexId>> owner(n);
-  for (VertexId v = 0; v < n; ++v) {
-    owner[v].store(kInvalidVertex, std::memory_order_relaxed);
-  }
-  owner[source].store(source, std::memory_order_relaxed);
-  result.parent[source] = source;
-  result.level[source] = 0;
-  result.reached = 1;
-
-  const double edge_budget = dense_threshold * (g.num_edges() + 1);
-  VertexSubset frontier = VertexSubset::Single(n, source);
-  AtomicBitset frontier_bits(n);
-  uint32_t depth = 0;
-  while (!frontier.empty()) {
-    ++depth;
-    size_t frontier_edges = 0;
-    for (VertexId v : frontier.vertices()) {
-      frontier_edges += g.degree(v);
-    }
-    auto update = [&owner](VertexId u, VertexId v) {
-      VertexId expected = kInvalidVertex;
-      return owner[v].compare_exchange_strong(expected, u,
-                                              std::memory_order_relaxed);
-    };
-    auto unvisited = [&owner](VertexId v) {
-      return owner[v].load(std::memory_order_relaxed) == kInvalidVertex;
-    };
-    if (static_cast<double>(frontier_edges) >= edge_budget) {
-      frontier_bits.Clear();
-      for (VertexId v : frontier.vertices()) {
-        frontier_bits.Set(v);
-      }
-      frontier = EdgeMapPull(g, frontier_bits, update, unvisited, pool);
-    } else {
-      frontier = EdgeMap(g, frontier, update, unvisited, pool);
-    }
-    for (VertexId v : frontier.vertices()) {
-      result.parent[v] = owner[v].load(std::memory_order_relaxed);
-      result.level[v] = depth;
-    }
-    result.reached += frontier.size();
-  }
-  return result;
+BfsResult BfsPush(const G& g, VertexId source, ThreadPool& pool) {
+  EdgeMapOptions options;
+  options.direction = Direction::kPush;
+  return Bfs(g, source, pool, options);
 }
 
 }  // namespace lsg

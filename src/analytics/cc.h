@@ -16,16 +16,19 @@
 namespace lsg {
 
 template <typename G>
-std::vector<VertexId> ConnectedComponents(const G& g, ThreadPool& pool) {
+std::vector<VertexId> ConnectedComponents(const G& g, ThreadPool& pool,
+                                          const EdgeMapOptions& options = {}) {
   VertexId n = g.num_vertices();
   std::vector<std::atomic<VertexId>> label(n);
   for (VertexId v = 0; v < n; ++v) {
     label[v].store(v, std::memory_order_relaxed);
   }
   // A vertex may be re-lowered several times per round; the `queued` bitset
-  // keeps it from entering the next frontier more than once.
+  // keeps it from entering the next frontier more than once. cond stays
+  // `true`, so pull rounds scan full adjacencies — the label minimum needs
+  // every frontier neighbor, not just the first.
   AtomicBitset queued(n);
-  VertexSubset frontier = VertexSubset::All(n, &pool);
+  VertexSubset frontier = VertexSubset::All(n);
   while (!frontier.empty()) {
     queued.Clear();
     frontier = EdgeMap(
@@ -43,7 +46,7 @@ std::vector<VertexId> ConnectedComponents(const G& g, ThreadPool& pool) {
           }
           return lowered && queued.TestAndSet(v);
         },
-        [](VertexId) { return true; }, pool);
+        [](VertexId) { return true; }, pool, options);
   }
   std::vector<VertexId> result(n);
   for (VertexId v = 0; v < n; ++v) {

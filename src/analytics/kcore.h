@@ -18,7 +18,8 @@
 namespace lsg {
 
 template <typename G>
-std::vector<uint32_t> KCoreDecomposition(const G& g, ThreadPool& pool) {
+std::vector<uint32_t> KCoreDecomposition(const G& g, ThreadPool& pool,
+                                         const EdgeMapOptions& options = {}) {
   VertexId n = g.num_vertices();
   std::vector<std::atomic<uint32_t>> induced(n);
   std::vector<uint32_t> coreness(n, 0);
@@ -28,23 +29,26 @@ std::vector<uint32_t> KCoreDecomposition(const G& g, ThreadPool& pool) {
                      std::memory_order_relaxed);
   });
 
-  size_t remaining = n;
+  auto not_peeled = [&peeled](VertexId v) { return !peeled.Get(v); };
+  VertexSubset remaining = VertexSubset::All(n);
   uint32_t k = 0;
-  while (remaining > 0) {
+  while (!remaining.empty()) {
     // Seed with every un-peeled vertex whose induced degree is <= k.
-    VertexSubset frontier(n);
-    for (VertexId v = 0; v < n; ++v) {
-      if (!peeled.Get(v) && induced[v].load(std::memory_order_relaxed) <= k) {
-        frontier.mutable_vertices().push_back(v);
-      }
-    }
+    VertexSubset frontier = VertexMap(
+        remaining,
+        [&peeled, &induced, k](VertexId v) {
+          return !peeled.Get(v) &&
+                 induced[v].load(std::memory_order_relaxed) <= k;
+        },
+        pool);
     // Peel in waves: removing a vertex may drag neighbors under the bound.
     while (!frontier.empty()) {
-      for (VertexId v : frontier.vertices()) {
-        coreness[v] = k;
+      uint32_t* coreness_data = coreness.data();
+      frontier.ForEach(pool, [coreness_data, &peeled, k](VertexId v,
+                                                         size_t /*tid*/) {
+        coreness_data[v] = k;
         peeled.Set(v);
-      }
-      remaining -= frontier.size();
+      });
       AtomicBitset queued(n);
       frontier = EdgeMap(
           g, frontier,
@@ -56,12 +60,12 @@ std::vector<uint32_t> KCoreDecomposition(const G& g, ThreadPool& pool) {
                 induced[v].fetch_sub(1, std::memory_order_relaxed);
             return before - 1 <= k && queued.TestAndSet(v);
           },
-          [](VertexId) { return true; }, pool);
+          not_peeled, pool, options);
       // A vertex can be queued and then peeled by an earlier wave entry in
       // the same round; filter.
-      frontier = VertexMap(
-          frontier, [&peeled](VertexId v) { return !peeled.Get(v); }, pool);
+      frontier = VertexMap(frontier, not_peeled, pool);
     }
+    remaining = VertexMap(remaining, not_peeled, pool);
     ++k;
   }
   return coreness;

@@ -4,7 +4,9 @@
 // Each round, every undecided vertex whose id is smaller than all of its
 // undecided neighbors' ids joins the set; its neighbors leave. Terminates in
 // O(log n) rounds w.h.p. on random orders; deterministic given vertex ids.
-// Assumes a symmetrized graph.
+// Both per-round scans exploit early exit: adjacency lists are ascending, so
+// the selection scan stops at the first neighbor >= v, and the knockout scan
+// stops at the first selected neighbor. Assumes a symmetrized graph.
 #ifndef SRC_ANALYTICS_MIS_H_
 #define SRC_ANALYTICS_MIS_H_
 
@@ -12,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/core/edgemap.h"
 #include "src/parallel/thread_pool.h"
 #include "src/util/graph_types.h"
 
@@ -26,55 +29,53 @@ std::vector<MisState> MaximalIndependentSet(const G& g, ThreadPool& pool) {
   for (VertexId v = 0; v < n; ++v) {
     state[v].store(uint8_t(MisState::kUndecided), std::memory_order_relaxed);
   }
-  std::atomic<size_t> undecided{n};
-  while (undecided.load(std::memory_order_relaxed) > 0) {
-    // Select local minima among undecided vertices.
-    pool.ParallelFor(0, n, [&](size_t vi) {
-      VertexId v = static_cast<VertexId>(vi);
-      if (state[v].load(std::memory_order_relaxed) !=
-          uint8_t(MisState::kUndecided)) {
-        return;
-      }
+  VertexSubset undecided = VertexSubset::All(n);
+  while (!undecided.empty()) {
+    // Select local minima among the undecided (every subset member is still
+    // kUndecided at round start, and only v's own iteration writes v).
+    undecided.ForEach(pool, [&](VertexId v, size_t /*tid*/) {
       bool is_min = true;
-      g.map_neighbors(v, [&](VertexId u) {
-        if (u < v && u != v &&
-            state[u].load(std::memory_order_relaxed) !=
-                uint8_t(MisState::kOut)) {
-          is_min = false;
+      g.map_neighbors_while(v, [&](VertexId u) {
+        if (u >= v) {
+          return false;  // ascending order: no smaller ids remain
         }
+        if (state[u].load(std::memory_order_relaxed) !=
+            uint8_t(MisState::kOut)) {
+          is_min = false;
+          return false;
+        }
+        return true;
       });
       if (is_min) {
         state[v].store(uint8_t(MisState::kIn), std::memory_order_relaxed);
       }
     });
-    // Knock out neighbors of newly selected vertices, count progress.
-    std::atomic<size_t> decided{0};
-    pool.ParallelFor(0, n, [&](size_t vi) {
-      VertexId v = static_cast<VertexId>(vi);
+    // Knock out neighbors of newly selected vertices.
+    undecided.ForEach(pool, [&](VertexId v, size_t /*tid*/) {
       if (state[v].load(std::memory_order_relaxed) !=
           uint8_t(MisState::kUndecided)) {
         return;
       }
       bool knocked_out = false;
-      g.map_neighbors(v, [&](VertexId u) {
+      g.map_neighbors_while(v, [&](VertexId u) {
         if (u != v && state[u].load(std::memory_order_relaxed) ==
                           uint8_t(MisState::kIn)) {
           knocked_out = true;
+          return false;
         }
+        return true;
       });
       if (knocked_out) {
         state[v].store(uint8_t(MisState::kOut), std::memory_order_relaxed);
-        decided.fetch_add(1, std::memory_order_relaxed);
       }
     });
-    size_t selected = 0;
-    for (VertexId v = 0; v < n; ++v) {
-      // Newly selected this round were kUndecided at round start; count all
-      // currently-in minus previous... simpler: recount undecided.
-      selected += state[v].load(std::memory_order_relaxed) ==
-                  uint8_t(MisState::kUndecided);
-    }
-    undecided.store(selected, std::memory_order_relaxed);
+    undecided = VertexMap(
+        undecided,
+        [&state](VertexId v) {
+          return state[v].load(std::memory_order_relaxed) ==
+                 uint8_t(MisState::kUndecided);
+        },
+        pool);
   }
   std::vector<MisState> result(n);
   for (VertexId v = 0; v < n; ++v) {

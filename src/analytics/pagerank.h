@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "src/core/edgemap.h"
 #include "src/parallel/thread_pool.h"
 #include "src/util/graph_types.h"
 
@@ -28,15 +29,17 @@ std::vector<double> PageRank(const G& g, ThreadPool& pool,
   std::vector<double> rank(n, 1.0 / n);
   std::vector<double> contrib(n, 0.0);
   std::vector<double> next(n, 0.0);
+  // The iteration space is the implicit whole-universe frontier; kAll never
+  // materializes an id array.
+  VertexSubset all = VertexSubset::All(n);
   for (int iter = 0; iter < options.iterations; ++iter) {
-    pool.ParallelFor(0, n, [&](size_t v) {
-      size_t deg = g.degree(static_cast<VertexId>(v));
+    all.ForEach(pool, [&](VertexId v, size_t /*tid*/) {
+      size_t deg = g.degree(v);
       contrib[v] = deg != 0 ? rank[v] / deg : 0.0;
     });
-    pool.ParallelFor(0, n, [&](size_t v) {
+    all.ForEach(pool, [&](VertexId v, size_t /*tid*/) {
       double sum = 0.0;
-      g.map_neighbors(static_cast<VertexId>(v),
-                      [&sum, &contrib](VertexId u) { sum += contrib[u]; });
+      g.map_neighbors(v, [&sum, &contrib](VertexId u) { sum += contrib[u]; });
       next[v] = (1.0 - options.damping) / n + options.damping * sum;
     });
     rank.swap(next);

@@ -80,6 +80,12 @@ class CTreeGraph {
     FindTree(v).Map(f);
   }
 
+  // map_neighbors that stops once f returns false; false iff cut short.
+  template <typename F>
+  bool map_neighbors_while(VertexId v, F&& f) const {
+    return FindTree(v).MapWhile(f);
+  }
+
   // Out-of-range endpoints rejected (counted and skipped) by update paths;
   // see DESIGN.md "Endpoint validation".
   uint64_t oob_rejected() const {

@@ -100,6 +100,21 @@ class SortledtonGraph {
     }
   }
 
+  // map_neighbors that stops once f returns false; false iff cut short.
+  template <typename F>
+  bool map_neighbors_while(VertexId v, F&& f) const {
+    const Adjacency& a = adj_[v];
+    if (a.big != nullptr) {
+      return a.big->MapWhile(f);
+    }
+    for (VertexId u : a.small) {
+      if (!f(u)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
   size_t memory_footprint() const;
   bool CheckInvariants() const;
 

@@ -113,6 +113,29 @@ class TerraceGraph {
     }
   }
 
+  // map_neighbors that stops once f returns false; false iff cut short.
+  template <typename F>
+  bool map_neighbors_while(VertexId v, F&& f) const {
+    const VertexBlock& vb = blocks_[v];
+    for (uint32_t i = 0; i < vb.inline_count; ++i) {
+      if (!f(vb.inline_edges[i])) {
+        return false;
+      }
+    }
+    if (vb.btree != nullptr) {
+      return vb.btree->MapWhile(f);
+    }
+    if (vb.degree > vb.inline_count) {
+      if (offsets_dirty_.load(std::memory_order_acquire)) {
+        RebuildOffsets();
+      }
+      return pma_.MapSlotsWhile(offsets_[v], offsets_[v + 1], [&f](uint64_t key) {
+        return f(static_cast<VertexId>(key));
+      });
+    }
+    return true;
+  }
+
   size_t memory_footprint() const;
 
   // Shared-PMA instrumentation for the Fig. 4 breakdown benches.

@@ -50,6 +50,12 @@ class BTreeSet {
     MapNode(root_, f);
   }
 
+  // Applies f(key) ascending while f returns true; false iff cut short.
+  template <typename F>
+  bool MapWhile(F&& f) const {
+    return MapNodeWhile(root_, f);
+  }
+
   size_t memory_footprint() const;
 
   // Structural invariant check used by tests: sortedness, key count, depth
@@ -113,6 +119,27 @@ class BTreeSet {
     for (size_t i = 0; i < n->internal.count; ++i) {
       MapNode(n->internal.children[i], f);
     }
+  }
+
+  template <typename F>
+  static bool MapNodeWhile(const Node* n, F& f) {
+    if (n == nullptr) {
+      return true;
+    }
+    if (n->is_leaf) {
+      for (size_t i = 0; i < n->leaf.count; ++i) {
+        if (!f(n->leaf.keys[i])) {
+          return false;
+        }
+      }
+      return true;
+    }
+    for (size_t i = 0; i < n->internal.count; ++i) {
+      if (!MapNodeWhile(n->internal.children[i], f)) {
+        return false;
+      }
+    }
+    return true;
   }
 
   static size_t FootprintNode(const Node* n);

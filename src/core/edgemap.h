@@ -1,63 +1,31 @@
-// Ligra-style frontier primitives (paper §5 "Interface").
+// Ligra-style frontier primitives (paper §5 "Interface", §6.3).
 //
 // LSGraph exposes analytics through EdgeMap/VertexMap over the engines'
 // Traverse operation. Everything here is templated on the engine type G,
-// which must provide num_vertices(), degree(v), and map_neighbors(v, f) —
-// the analytics kernels in src/analytics/ are therefore shared verbatim by
-// LSGraph and all three baselines, so benchmark deltas isolate the data
-// structures.
+// which must satisfy GraphView (src/core/engine_concept.h) — the analytics
+// kernels in src/analytics/ are therefore shared verbatim by LSGraph and all
+// baselines, so benchmark deltas isolate the data structures.
+//
+// EdgeMap is direction-optimizing (Beamer et al.): a sparse frontier pushes
+// along its out-edges; a frontier covering a large fraction of the edges
+// flips to a pull scan over all destinations, which needs no atomics and —
+// via map_neighbors_while — stops decoding a vertex's adjacency the moment
+// cond(v) turns false. See DESIGN.md "Frontier runtime".
 #ifndef SRC_CORE_EDGEMAP_H_
 #define SRC_CORE_EDGEMAP_H_
 
+#include <bit>
 #include <cstddef>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "src/core/options.h"
 #include "src/parallel/thread_pool.h"
 #include "src/util/bitvector.h"
 #include "src/util/graph_types.h"
 
 namespace lsg {
-
-// A set of active vertices. Always carries the sparse list; EdgeMap decides
-// how to iterate.
-class VertexSubset {
- public:
-  explicit VertexSubset(VertexId universe) : universe_(universe) {}
-
-  static VertexSubset Single(VertexId universe, VertexId v) {
-    VertexSubset s(universe);
-    s.vertices_.push_back(v);
-    return s;
-  }
-
-  // Dense frontier over the whole vertex set. Built in parallel: this runs
-  // before every dense traversal, and a serial O(V) push_back loop shows up
-  // at the front of each of them.
-  static VertexSubset All(VertexId universe, ThreadPool* pool = nullptr) {
-    VertexSubset s(universe);
-    s.vertices_.resize(universe);
-    VertexId* out = s.vertices_.data();
-    ThreadPool& p = pool != nullptr ? *pool : ThreadPool::Global();
-    p.ParallelForChunked(0, universe,
-                         [out](size_t lo, size_t hi, size_t /*tid*/) {
-                           for (size_t v = lo; v < hi; ++v) {
-                             out[v] = static_cast<VertexId>(v);
-                           }
-                         });
-    return s;
-  }
-
-  size_t size() const { return vertices_.size(); }
-  bool empty() const { return vertices_.empty(); }
-  VertexId universe() const { return universe_; }
-
-  const std::vector<VertexId>& vertices() const { return vertices_; }
-  std::vector<VertexId>& mutable_vertices() { return vertices_; }
-
- private:
-  VertexId universe_;
-  std::vector<VertexId> vertices_;
-};
 
 namespace edgemap_internal {
 
@@ -79,86 +47,374 @@ inline void ConcatParts(const std::vector<std::vector<VertexId>>& parts,
       1);
 }
 
+// Cache-line padded per-thread accumulator.
+struct alignas(64) PerThreadSum {
+  uint64_t value = 0;
+};
+
 }  // namespace edgemap_internal
 
-// Applies update(u, v) over every edge (u, v) with u in `frontier` and
-// cond(v) true. A vertex v enters the returned frontier at most once, when
-// update returns true (update must guarantee exactly-once success itself,
-// e.g. via compare-and-swap).
-template <typename G, typename UpdateF, typename CondF>
-VertexSubset EdgeMap(const G& g, const VertexSubset& frontier, UpdateF update,
-                     CondF cond, ThreadPool& pool) {
-  size_t nthreads = pool.num_threads();
-  std::vector<std::vector<VertexId>> next(nthreads);
-  pool.ParallelForChunked(
-      0, frontier.size(),
-      [&](size_t lo, size_t hi, size_t tid) {
-        std::vector<VertexId>& out = next[tid];
-        for (size_t i = lo; i < hi; ++i) {
-          VertexId u = frontier.vertices()[i];
-          g.map_neighbors(u, [&](VertexId v) {
-            if (cond(v) && update(u, v)) {
-              out.push_back(v);
+// A set of active vertices, held in whichever representation the producer
+// emitted — a sparse id list (push output), a dense bitmap (pull output), or
+// the implicit whole-universe set kAll, which never materializes anything.
+// The other representation is derived lazily on demand (O(|S|) sparse→dense,
+// O(n/64 + |S|) dense→sparse) and cached; the derived sparse order is
+// unspecified. Move-only; ids within a subset are unique.
+//
+// Lazy materialization and the EdgeSum cache mutate shared state, so
+// concurrent use of one subset from multiple threads must go through the
+// parallel members (ForEach/EdgeSum) or pre-materialize first.
+class VertexSubset {
+ public:
+  // Empty subset over [0, universe).
+  explicit VertexSubset(VertexId universe) : universe_(universe) {}
+
+  VertexSubset(VertexSubset&&) = default;
+  VertexSubset& operator=(VertexSubset&&) = default;
+
+  static VertexSubset Single(VertexId universe, VertexId v) {
+    VertexSubset s(universe);
+    s.vertices_.push_back(v);
+    s.size_ = 1;
+    return s;
+  }
+
+  // The whole vertex set, O(1): no id array, no bitmap. EdgeMap, ForEach,
+  // and EdgeSum all special-case it; a representation is materialized only
+  // if vertices()/bits() is explicitly asked for.
+  static VertexSubset All(VertexId universe) {
+    VertexSubset s(universe);
+    s.rep_ = Rep::kAll;
+    s.size_ = universe;
+    s.sparse_valid_ = false;
+    return s;
+  }
+
+  // Takes ownership of a list of unique ids (any order).
+  static VertexSubset FromVertices(VertexId universe,
+                                   std::vector<VertexId> vertices) {
+    VertexSubset s(universe);
+    s.size_ = vertices.size();
+    s.vertices_ = std::move(vertices);
+    return s;
+  }
+
+  // Takes ownership of a bitmap sized to the universe; `count` must equal
+  // its population count.
+  static VertexSubset FromBitset(VertexId universe, AtomicBitset bits,
+                                 size_t count) {
+    VertexSubset s(universe);
+    s.rep_ = Rep::kDense;
+    s.size_ = count;
+    s.bits_ = std::move(bits);
+    s.sparse_valid_ = false;
+    s.dense_valid_ = true;
+    return s;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  VertexId universe() const { return universe_; }
+  bool is_all() const { return rep_ == Rep::kAll; }
+
+  // Whether each representation currently exists (observability for tests;
+  // kAll starts with neither).
+  bool sparse_materialized() const { return sparse_valid_; }
+  bool dense_materialized() const { return dense_valid_; }
+
+  // The sparse id list, materializing it if absent (order unspecified unless
+  // this subset was built sparse).
+  const std::vector<VertexId>& vertices(ThreadPool* pool = nullptr) const {
+    if (!sparse_valid_) {
+      MaterializeSparse(pool != nullptr ? *pool : ThreadPool::Global());
+    }
+    return vertices_;
+  }
+
+  // The dense bitmap, materializing it if absent.
+  const AtomicBitset& bits(ThreadPool* pool = nullptr) const {
+    if (!dense_valid_) {
+      MaterializeDense(pool != nullptr ? *pool : ThreadPool::Global());
+    }
+    return bits_;
+  }
+
+  // Applies f(v, tid) to every member, in parallel, without changing the
+  // representation: kAll iterates [0, universe), dense walks bitmap words.
+  template <typename F>
+  void ForEach(ThreadPool& pool, F&& f) const {
+    if (rep_ == Rep::kAll) {
+      pool.ParallelForChunked(0, universe_,
+                              [&f](size_t lo, size_t hi, size_t tid) {
+                                for (size_t v = lo; v < hi; ++v) {
+                                  f(static_cast<VertexId>(v), tid);
+                                }
+                              });
+      return;
+    }
+    if (sparse_valid_) {
+      const VertexId* ids = vertices_.data();
+      pool.ParallelForChunked(0, vertices_.size(),
+                              [&f, ids](size_t lo, size_t hi, size_t tid) {
+                                for (size_t i = lo; i < hi; ++i) {
+                                  f(ids[i], tid);
+                                }
+                              });
+      return;
+    }
+    pool.ParallelForChunked(
+        0, bits_.num_words(), [&f, this](size_t lo, size_t hi, size_t tid) {
+          for (size_t w = lo; w < hi; ++w) {
+            uint64_t word = bits_.Word(w);
+            while (word != 0) {
+              int b = std::countr_zero(word);
+              word &= word - 1;
+              f(static_cast<VertexId>(w * 64 + b), tid);
             }
-          });
-        }
+          }
+        });
+  }
+
+  // Sum of members' degrees, computed in parallel O(|S|/P) and cached.
+  // kAll answers from g.num_edges() without touching per-vertex degrees.
+  // The cache binds this subset to the first graph it is summed against.
+  template <typename G>
+  uint64_t EdgeSum(const G& g, ThreadPool& pool) const {
+    if (edge_sum_valid_) {
+      return edge_sum_;
+    }
+    if (rep_ == Rep::kAll) {
+      edge_sum_ = g.num_edges();
+    } else {
+      std::vector<edgemap_internal::PerThreadSum> sums(pool.num_threads());
+      ForEach(pool, [&g, &sums](VertexId v, size_t tid) {
+        sums[tid].value += g.degree(v);
       });
-  VertexSubset result(frontier.universe());
-  edgemap_internal::ConcatParts(next, &result.mutable_vertices(), pool);
-  return result;
+      uint64_t total = 0;
+      for (const auto& s : sums) {
+        total += s.value;
+      }
+      edge_sum_ = total;
+    }
+    edge_sum_valid_ = true;
+    return edge_sum_;
+  }
+
+ private:
+  enum class Rep : uint8_t { kSparse, kDense, kAll };
+
+  void MaterializeSparse(ThreadPool& pool) const {
+    if (rep_ == Rep::kAll) {
+      vertices_.resize(universe_);
+      VertexId* out = vertices_.data();
+      pool.ParallelForChunked(0, universe_,
+                              [out](size_t lo, size_t hi, size_t /*tid*/) {
+                                for (size_t v = lo; v < hi; ++v) {
+                                  out[v] = static_cast<VertexId>(v);
+                                }
+                              });
+    } else {
+      std::vector<std::vector<VertexId>> parts(pool.num_threads());
+      ForEach(pool, [&parts](VertexId v, size_t tid) {
+        parts[tid].push_back(v);
+      });
+      edgemap_internal::ConcatParts(parts, &vertices_, pool);
+    }
+    sparse_valid_ = true;
+  }
+
+  void MaterializeDense(ThreadPool& pool) const {
+    bits_ = AtomicBitset(universe_);
+    if (rep_ == Rep::kAll) {
+      bits_.SetAll();
+    } else {
+      ForEach(pool, [this](VertexId v, size_t /*tid*/) { bits_.Set(v); });
+    }
+    dense_valid_ = true;
+  }
+
+  VertexId universe_;
+  Rep rep_ = Rep::kSparse;
+  size_t size_ = 0;
+
+  // Representations; at least one is valid unless rep_ == kAll (which needs
+  // neither). Mutable: vertices()/bits()/EdgeSum are caches, not state.
+  mutable std::vector<VertexId> vertices_;
+  mutable AtomicBitset bits_;
+  mutable bool sparse_valid_ = true;
+  mutable bool dense_valid_ = false;
+  mutable uint64_t edge_sum_ = 0;
+  mutable bool edge_sum_valid_ = false;
+};
+
+// Traversal direction for one EdgeMap round.
+enum class Direction : uint8_t {
+  kAuto,  // Beamer heuristic on the frontier's cached edge sum
+  kPush,  // sparse: iterate the frontier's out-edges
+  kPull,  // dense: scan every destination's in-edges with early exit
+};
+
+struct EdgeMapOptions {
+  Direction direction = Direction::kAuto;
+
+  // kAuto flips to pull when frontier_edges + frontier_size >=
+  // dense_threshold * (num_edges + num_vertices + 1). Beamer's classic
+  // constant is 1/20 of the edge total; 0.0 forces pull through the kAuto
+  // path (every frontier satisfies the inequality).
+  double dense_threshold = 0.05;
+
+  // Optional sink for pull-scan early-exit counters and per-direction round
+  // counts; may be null.
+  CoreStats* stats = nullptr;
+};
+
+namespace edgemap_internal {
+
+// Push direction: for each frontier vertex u, visit out-neighbors v with
+// cond(v) true and apply update(u, v); v joins the output when update
+// returns true (update must guarantee exactly-once success itself, e.g. via
+// compare-and-swap, or the output would hold duplicates).
+template <typename G, typename UpdateF, typename CondF>
+VertexSubset PushPass(const G& g, const VertexSubset& frontier, UpdateF& update,
+                      CondF& cond, ThreadPool& pool, CoreStats* stats) {
+  std::vector<std::vector<VertexId>> next(pool.num_threads());
+  frontier.ForEach(pool, [&](VertexId u, size_t tid) {
+    std::vector<VertexId>& out = next[tid];
+    g.map_neighbors(u, [&](VertexId v) {
+      if (cond(v) && update(u, v)) {
+        out.push_back(v);
+      }
+    });
+  });
+  std::vector<VertexId> ids;
+  ConcatParts(next, &ids, pool);
+  if (stats != nullptr) {
+    stats->edgemap_push_rounds.fetch_add(1, std::memory_order_relaxed);
+  }
+  return VertexSubset::FromVertices(frontier.universe(), std::move(ids));
 }
 
-// Pull-direction EdgeMap (Ligra's dense mode). For every vertex v with
-// cond(v), scans v's neighbors u and applies update(u, v) for each u in the
-// frontier, stopping the *additions* (not the scan) after the first success.
-// Correct on symmetrized graphs, where out-neighbors are in-neighbors.
-// Profitable when the frontier covers a large fraction of the edges: the
-// scan is sequential per vertex, and no atomics are needed because only v's
-// owner thread writes v's state.
-template <typename G, typename UpdateF, typename CondF>
-VertexSubset EdgeMapPull(const G& g, const AtomicBitset& in_frontier,
-                         UpdateF update, CondF cond, ThreadPool& pool) {
+// Pull direction (Ligra's dense mode). For every vertex v with cond(v),
+// scans v's neighbors u and applies update(u, v) for each u in the frontier.
+// The scan terminates early when cond(v) turns false — Ligra's break — which
+// map_neighbors_while pushes down into the adjacency structures, so a BFS
+// that claims v stops decoding v's remaining neighbors (including any
+// compressed or indexed tail) immediately. Updates that never flip cond
+// (e.g. CC's label minimum) get the full scan they need for correctness.
+// Correct on symmetrized graphs, where out-neighbors are in-neighbors. No
+// atomics on v's state: only v's owner thread writes it.
+template <typename G, typename InFrontierF, typename UpdateF, typename CondF>
+VertexSubset PullPass(const G& g, InFrontierF in_frontier, UpdateF& update,
+                      CondF& cond, ThreadPool& pool, CoreStats* stats) {
   VertexId n = g.num_vertices();
-  size_t nthreads = pool.num_threads();
-  std::vector<std::vector<VertexId>> next(nthreads);
+  AtomicBitset out(n);
+  struct alignas(64) Tally {
+    uint64_t added = 0;
+    uint64_t decoded = 0;
+    uint64_t degree = 0;
+    uint64_t early = 0;
+  };
+  std::vector<Tally> tallies(pool.num_threads());
   pool.ParallelForChunked(0, n, [&](size_t lo, size_t hi, size_t tid) {
+    Tally& t = tallies[tid];
     for (size_t vi = lo; vi < hi; ++vi) {
       VertexId v = static_cast<VertexId>(vi);
       if (!cond(v)) {
         continue;
       }
+      size_t deg = g.degree(v);
+      if (deg == 0) {
+        continue;
+      }
+      t.degree += deg;
       bool added = false;
-      g.map_neighbors(v, [&](VertexId u) {
-        if (!added && in_frontier.Get(u) && update(u, v)) {
-          next[tid].push_back(v);
+      bool full = g.map_neighbors_while(v, [&](VertexId u) {
+        ++t.decoded;
+        if (in_frontier(u) && update(u, v) && !added) {
           added = true;
+          out.Set(v);
         }
+        return cond(v);
       });
+      if (!full) {
+        ++t.early;
+      }
+      if (added) {
+        ++t.added;
+      }
     }
   });
-  VertexSubset result(n);
-  edgemap_internal::ConcatParts(next, &result.mutable_vertices(), pool);
-  return result;
+  size_t count = 0;
+  uint64_t decoded = 0;
+  uint64_t degree = 0;
+  uint64_t early = 0;
+  for (const Tally& t : tallies) {
+    count += t.added;
+    decoded += t.decoded;
+    degree += t.degree;
+    early += t.early;
+  }
+  if (stats != nullptr) {
+    stats->pull_neighbors_decoded.fetch_add(decoded, std::memory_order_relaxed);
+    stats->pull_degree_scanned.fetch_add(degree, std::memory_order_relaxed);
+    stats->pull_early_exits.fetch_add(early, std::memory_order_relaxed);
+    stats->edgemap_pull_rounds.fetch_add(1, std::memory_order_relaxed);
+  }
+  return VertexSubset::FromBitset(n, std::move(out), count);
+}
+
+}  // namespace edgemap_internal
+
+// Applies update(u, v) over every edge (u, v) with u in `frontier` and
+// cond(v) true; returns the set of vertices for which update succeeded.
+// Direction selection (push vs pull) is owned here: kAuto compares the
+// frontier's cached parallel edge sum against dense_threshold — Beamer's
+// direction-optimization heuristic — so no kernel carries its own dual-mode
+// loop. Pull mode additionally requires cond to be monotone within a round
+// (once false for v, it stays false), which every CAS-style kernel satisfies.
+template <typename G, typename UpdateF, typename CondF>
+VertexSubset EdgeMap(const G& g, const VertexSubset& frontier, UpdateF update,
+                     CondF cond, ThreadPool& pool,
+                     const EdgeMapOptions& options = {}) {
+  if (frontier.empty()) {
+    return VertexSubset(frontier.universe());
+  }
+  Direction dir = options.direction;
+  if (dir == Direction::kAuto) {
+    uint64_t work = frontier.EdgeSum(g, pool) + frontier.size();
+    double total = static_cast<double>(g.num_edges()) +
+                   static_cast<double>(g.num_vertices()) + 1.0;
+    dir = static_cast<double>(work) >= options.dense_threshold * total
+              ? Direction::kPull
+              : Direction::kPush;
+  }
+  if (dir == Direction::kPull) {
+    if (frontier.is_all()) {
+      return edgemap_internal::PullPass(
+          g, [](VertexId) { return true; }, update, cond, pool, options.stats);
+    }
+    const AtomicBitset& in = frontier.bits(&pool);
+    return edgemap_internal::PullPass(
+        g, [&in](VertexId u) { return in.Get(u); }, update, cond, pool,
+        options.stats);
+  }
+  return edgemap_internal::PushPass(g, frontier, update, cond, pool,
+                                    options.stats);
 }
 
 // Applies f(v) to every vertex in the frontier, keeping those for which f
 // returns true.
 template <typename F>
 VertexSubset VertexMap(const VertexSubset& frontier, F&& f, ThreadPool& pool) {
-  size_t nthreads = pool.num_threads();
-  std::vector<std::vector<VertexId>> kept(nthreads);
-  pool.ParallelForChunked(0, frontier.size(),
-                          [&](size_t lo, size_t hi, size_t tid) {
-                            for (size_t i = lo; i < hi; ++i) {
-                              VertexId v = frontier.vertices()[i];
-                              if (f(v)) {
-                                kept[tid].push_back(v);
-                              }
-                            }
-                          });
-  VertexSubset result(frontier.universe());
-  edgemap_internal::ConcatParts(kept, &result.mutable_vertices(), pool);
-  return result;
+  std::vector<std::vector<VertexId>> kept(pool.num_threads());
+  frontier.ForEach(pool, [&](VertexId v, size_t tid) {
+    if (f(v)) {
+      kept[tid].push_back(v);
+    }
+  });
+  std::vector<VertexId> ids;
+  edgemap_internal::ConcatParts(kept, &ids, pool);
+  return VertexSubset::FromVertices(frontier.universe(), std::move(ids));
 }
 
 }  // namespace lsg

@@ -13,7 +13,9 @@
 
 namespace lsg {
 
-// Read side: what analytics kernels need.
+// Read side: what analytics kernels need. map_neighbors_while is the
+// early-exit traversal pull-mode EdgeMap is built on: the mapper returns
+// bool (true = keep going), and the call reports false iff cut short.
 template <typename G>
 concept GraphView = requires(const G& g, VertexId v) {
   { g.num_vertices() } -> std::convertible_to<VertexId>;
@@ -21,6 +23,8 @@ concept GraphView = requires(const G& g, VertexId v) {
   { g.degree(v) } -> std::convertible_to<size_t>;
   { g.HasEdge(v, v) } -> std::convertible_to<bool>;
   g.map_neighbors(v, [](VertexId) {});
+  { g.map_neighbors_while(v, [](VertexId) { return true; }) } ->
+      std::convertible_to<bool>;
 };
 
 // Full streaming engine: GraphView plus batched and single-edge updates and

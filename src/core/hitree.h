@@ -57,6 +57,11 @@ class Lia {
   template <typename F>
   void Map(F&& f) const;
 
+  // Early-exit Traverse: applies f(id) ascending while f returns true.
+  // Returns false iff the traversal was cut short.
+  template <typename F>
+  bool MapWhile(F&& f) const;
+
   size_t memory_footprint() const;
   // Model + type bits + child index overhead (Table 3's I/L accounting).
   size_t index_bytes() const;
@@ -134,6 +139,26 @@ class HiNode {
     }
   }
 
+  // Early-exit Traverse: applies f(id) ascending while f returns true.
+  // Returns false iff the traversal was cut short.
+  template <typename F>
+  bool MapWhile(F&& f) const {
+    switch (kind_) {
+      case Kind::kArray:
+        for (VertexId v : array_) {
+          if (!f(v)) {
+            return false;
+          }
+        }
+        return true;
+      case Kind::kRia:
+        return ria_->MapWhile(f);
+      case Kind::kLia:
+        return lia_->MapWhile(f);
+    }
+    return true;
+  }
+
   std::vector<VertexId> Decode() const {
     std::vector<VertexId> out;
     out.reserve(size());
@@ -181,6 +206,32 @@ void Lia::Map(F&& f) const {
       }
     }
   }
+}
+
+template <typename F>
+bool Lia::MapWhile(F&& f) const {
+  size_t bks = options_.block_size;
+  uint32_t prev_child = ~uint32_t{0};
+  for (size_t ba = 0; ba < slots_.size(); ba += bks) {
+    if (types_.Get(ba) == SlotType::kChild) {
+      uint32_t child = slots_[ba];
+      if (child != prev_child) {
+        if (!children_[child]->MapWhile(f)) {
+          return false;
+        }
+        prev_child = child;
+      }
+      continue;
+    }
+    prev_child = ~uint32_t{0};
+    for (size_t i = ba; i < ba + bks; ++i) {
+      SlotType t = types_.Get(i);
+      if ((t == SlotType::kEdge || t == SlotType::kBlock) && !f(slots_[i])) {
+        return false;
+      }
+    }
+  }
+  return true;
 }
 
 }  // namespace lsg

@@ -95,6 +95,22 @@ class LSGraph {
     }
   }
 
+  // Applies f(u) to v's neighbors, ascending, while f returns true. Returns
+  // false iff the scan was cut short (used by pull-mode EdgeMap, §6.3).
+  template <typename F>
+  bool map_neighbors_while(VertexId v, F&& f) const {
+    const VertexBlock& vb = blocks_[v];
+    for (uint32_t i = 0; i < vb.inline_count; ++i) {
+      if (!f(vb.inline_edges[i])) {
+        return false;
+      }
+    }
+    if (vb.tail != nullptr) {
+      return vb.tail->MapWhile(f);
+    }
+    return true;
+  }
+
   // Appends v's neighbors, ascending, to out (the array staging used by the
   // TC kernel, §6.3).
   void FillNeighbors(VertexId v, std::vector<VertexId>* out) const {

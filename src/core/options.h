@@ -26,6 +26,16 @@ struct CoreStats {
   std::atomic<uint64_t> ria_to_array_conversions{0};
   std::atomic<uint64_t> ria_contractions{0};
 
+  // Pull-mode EdgeMap instrumentation (§6.3): how much of the scanned
+  // vertices' adjacency was actually decoded before cond(v) ended each
+  // scan, and how often EdgeMap ran in each direction. Engine-agnostic —
+  // populated by the runtime via EdgeMapOptions::stats, not by the engines.
+  std::atomic<uint64_t> pull_neighbors_decoded{0};
+  std::atomic<uint64_t> pull_degree_scanned{0};
+  std::atomic<uint64_t> pull_early_exits{0};
+  std::atomic<uint64_t> edgemap_pull_rounds{0};
+  std::atomic<uint64_t> edgemap_push_rounds{0};
+
   void Clear() {
     ria_to_hitree_conversions = 0;
     ria_expansions = 0;
@@ -33,6 +43,11 @@ struct CoreStats {
     hitree_to_ria_conversions = 0;
     ria_to_array_conversions = 0;
     ria_contractions = 0;
+    pull_neighbors_decoded = 0;
+    pull_degree_scanned = 0;
+    pull_early_exits = 0;
+    edgemap_pull_rounds = 0;
+    edgemap_push_rounds = 0;
   }
 };
 

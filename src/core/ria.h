@@ -78,6 +78,21 @@ class Ria {
     }
   }
 
+  // Applies f(id) in ascending order while f returns true. Returns false iff
+  // f requested a stop (the traversal was cut short).
+  template <typename F>
+  bool MapWhile(F&& f) const {
+    for (size_t b = 0; b < counts_.size(); ++b) {
+      const VertexId* block = slots_.data() + b * block_size_;
+      for (size_t i = 0; i < counts_[b]; ++i) {
+        if (!f(block[i])) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
   std::vector<VertexId> Decode() const {
     std::vector<VertexId> out;
     out.reserve(size_);

@@ -75,6 +75,20 @@ class CompressedChunk {
     }
   }
 
+  // Applies f(id) ascending while f returns true; false iff cut short.
+  template <typename F>
+  bool MapWhile(VertexId base, F&& f) const {
+    const uint8_t* p = bytes_.data();
+    VertexId v = base;
+    for (size_t i = 0; i < count_; ++i) {
+      v += ReadVarint(p);
+      if (!f(v)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
   std::vector<VertexId> Decode(VertexId base) const {
     std::vector<VertexId> out;
     out.reserve(count_);

@@ -53,6 +53,15 @@ class CTree {
     MapNode(root_.get(), f);
   }
 
+  // Applies f(id) ascending while f returns true; false iff cut short.
+  template <typename F>
+  bool MapWhile(F&& f) const {
+    if (!prefix_.MapWhile(0, [&f](VertexId shifted) { return f(shifted - 1); })) {
+      return false;
+    }
+    return MapNodeWhile(root_.get(), f);
+  }
+
   std::vector<VertexId> Decode() const {
     std::vector<VertexId> out;
     out.reserve(size_);
@@ -107,6 +116,23 @@ class CTree {
     f(n->head);
     n->tail.Map(n->head, f);
     MapNode(n->right.get(), f);
+  }
+
+  template <typename F>
+  static bool MapNodeWhile(const Node* n, F& f) {
+    if (n == nullptr) {
+      return true;
+    }
+    if (!MapNodeWhile(n->left.get(), f)) {
+      return false;
+    }
+    if (!f(n->head)) {
+      return false;
+    }
+    if (!n->tail.MapWhile(n->head, f)) {
+      return false;
+    }
+    return MapNodeWhile(n->right.get(), f);
   }
 
   static size_t FootprintNode(const Node* n);

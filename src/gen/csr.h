@@ -67,6 +67,17 @@ class Csr {
     }
   }
 
+  // map_neighbors that stops once f returns false; false iff cut short.
+  template <typename F>
+  bool map_neighbors_while(VertexId v, F&& f) const {
+    for (VertexId u : neighbors(v)) {
+      if (!f(u)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
   size_t memory_footprint() const {
     return offsets_.capacity() * sizeof(EdgeCount) +
            targets_.capacity() * sizeof(VertexId);

@@ -101,6 +101,17 @@ class Pma {
     }
   }
 
+  // MapSlots that stops as soon as f returns false; false iff cut short.
+  template <typename F>
+  bool MapSlotsWhile(size_t lo, size_t hi, F&& f) const {
+    for (size_t i = lo; i < hi; ++i) {
+      if (slots_[i] != kEmpty && !f(slots_[i])) {
+        return false;
+      }
+    }
+    return true;
+  }
+
   // Raw slot access for offset-array construction (kEmpty = gap).
   uint64_t SlotAt(size_t i) const { return slots_[i]; }
 

@@ -52,6 +52,19 @@ class BlockSkipList {
     }
   }
 
+  // Applies f(id) ascending while f returns true; false iff cut short.
+  template <typename F>
+  bool MapWhile(F&& f) const {
+    for (const Node* n = head_; n != nullptr; n = n->next[0]) {
+      for (uint16_t i = 0; i < n->count; ++i) {
+        if (!f(n->keys[i])) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
   size_t memory_footprint() const;
   bool CheckInvariants() const;
 

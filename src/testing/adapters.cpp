@@ -7,10 +7,19 @@
 #include "src/baselines/ctree_graph.h"
 #include "src/baselines/sortledton_graph.h"
 #include "src/baselines/terrace_graph.h"
+#include "src/core/engine_concept.h"
 #include "src/core/lsgraph.h"
 
 namespace lsg {
 namespace {
+
+// Every engine this harness wraps must satisfy the full concept — interface
+// drift fails here, at compile time, instead of inside the fuzzer.
+static_assert(StreamingEngine<LSGraph>);
+static_assert(StreamingEngine<TerraceGraph>);
+static_assert(StreamingEngine<AspenGraph>);
+static_assert(StreamingEngine<PacTreeGraph>);
+static_assert(StreamingEngine<SortledtonGraph>);
 
 // std::set-backed oracle implementing the shared endpoint-validation policy
 // (count and skip out-of-range edges) so the engines can be compared against

@@ -85,6 +85,26 @@ class AtomicBitset {
     return (prev & mask) == 0;
   }
 
+  // Word-granular access for O(n/64) scans (dense-frontier iteration).
+  size_t num_words() const { return words_.size(); }
+  uint64_t Word(size_t w) const {
+    return words_[w].load(std::memory_order_relaxed);
+  }
+
+  // Sets every bit in [0, size()); bits beyond size() in the last word stay
+  // zero so word-level population counts remain exact.
+  void SetAll() {
+    if (words_.empty()) {
+      return;
+    }
+    for (size_t w = 0; w + 1 < words_.size(); ++w) {
+      words_[w].store(~uint64_t{0}, std::memory_order_relaxed);
+    }
+    size_t rem = size_ % 64;
+    uint64_t last = rem == 0 ? ~uint64_t{0} : (uint64_t{1} << rem) - 1;
+    words_.back().store(last, std::memory_order_relaxed);
+  }
+
  private:
   std::vector<std::atomic<uint64_t>> words_;
   size_t size_ = 0;

@@ -197,13 +197,25 @@ TEST(PrepareBatchTest, PhaseStatsArePopulated) {
   EXPECT_GE(stats.group_seconds, 0.0);
 }
 
-TEST(VertexSubsetTest, AllIsBuiltInParallel) {
-  ThreadPool pool(8);
-  VertexSubset all = VertexSubset::All(100000, &pool);
+TEST(VertexSubsetTest, AllIsImplicitUntilAsked) {
+  // kAll is O(1): no id array, no bitmap. Either materializes only when
+  // explicitly requested.
+  VertexSubset all = VertexSubset::All(100000);
   ASSERT_EQ(all.size(), 100000u);
-  for (size_t i = 0; i < all.size(); ++i) {
-    ASSERT_EQ(all.vertices()[i], static_cast<VertexId>(i));
+  EXPECT_TRUE(all.is_all());
+  EXPECT_FALSE(all.sparse_materialized());
+  EXPECT_FALSE(all.dense_materialized());
+  ThreadPool pool(8);
+  const std::vector<VertexId>& ids = all.vertices(&pool);
+  EXPECT_TRUE(all.sparse_materialized());
+  ASSERT_EQ(ids.size(), 100000u);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_EQ(ids[i], static_cast<VertexId>(i));
   }
+  const AtomicBitset& bits = all.bits(&pool);
+  EXPECT_TRUE(all.dense_materialized());
+  EXPECT_TRUE(bits.Get(0));
+  EXPECT_TRUE(bits.Get(99999));
 }
 
 // ---- Engine equivalence vs a std::set reference across thread counts. ----

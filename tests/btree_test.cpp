@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <vector>
 
@@ -164,6 +165,30 @@ TEST_P(BTreeOracleTest, RandomizedAgainstStdSet) {
 
 INSTANTIATE_TEST_SUITE_P(KeySpaces, BTreeOracleTest,
                          ::testing::Values(64, 1000, 100000, 4000000000ull));
+
+TEST(BTreeTest, MapWhileStopsAtFirstFalse) {
+  BTreeSet t;
+  SplitMix64 rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    t.Insert(rng.Next() % 100000);
+  }
+  std::vector<VertexId> all = Dump(t);
+  std::vector<VertexId> seen;
+  // Stop deep enough that the cut crosses leaf and internal-node boundaries.
+  bool full = t.MapWhile([&seen](VertexId v) {
+    seen.push_back(v);
+    return seen.size() < 100;
+  });
+  EXPECT_FALSE(full);
+  ASSERT_EQ(seen.size(), 100u);
+  EXPECT_TRUE(std::equal(seen.begin(), seen.end(), all.begin()));
+  size_t visits = 0;
+  EXPECT_TRUE(t.MapWhile([&visits](VertexId) {
+    ++visits;
+    return true;
+  }));
+  EXPECT_EQ(visits, t.size());
+}
 
 }  // namespace
 }  // namespace lsg

@@ -28,6 +28,18 @@ static_assert(!StreamingEngine<Csr>);  // static snapshot: view only
 static_assert(!GraphView<Csr>);
 static_assert(!GraphView<int>);
 
+// A view with the classic traversal members but no early-exit
+// map_neighbors_while must be rejected: pull-mode EdgeMap depends on it.
+struct NoMapWhileView {
+  VertexId num_vertices() const { return 0; }
+  EdgeCount num_edges() const { return 0; }
+  size_t degree(VertexId) const { return 0; }
+  bool HasEdge(VertexId, VertexId) const { return false; }
+  template <typename F>
+  void map_neighbors(VertexId, F&&) const {}
+};
+static_assert(!GraphView<NoMapWhileView>);
+
 TEST(ConceptTest, CompileTimeChecksHold) {
   SUCCEED();  // the static_asserts above are the test
 }

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <vector>
 
@@ -172,6 +173,30 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(CTreeParam{4, 500}, CTreeParam{16, 500},
                       CTreeParam{16, 100000}, CTreeParam{64, 100000},
                       CTreeParam{64, 4000000000ull}));
+
+TEST(CTreeTest, MapWhileStopsMidChunk) {
+  CTree t(16);
+  std::vector<VertexId> ids;
+  for (VertexId v = 0; v < 5000; ++v) {
+    ids.push_back(v * 3);
+  }
+  t.BulkLoad(ids);
+  std::vector<VertexId> seen;
+  // 40 spans several compressed chunks; the cut lands mid-decode.
+  bool full = t.MapWhile([&seen](VertexId v) {
+    seen.push_back(v);
+    return seen.size() < 40;
+  });
+  EXPECT_FALSE(full);
+  ASSERT_EQ(seen.size(), 40u);
+  EXPECT_TRUE(std::equal(seen.begin(), seen.end(), ids.begin()));
+  size_t visits = 0;
+  EXPECT_TRUE(t.MapWhile([&visits](VertexId) {
+    ++visits;
+    return true;
+  }));
+  EXPECT_EQ(visits, t.size());
+}
 
 }  // namespace
 }  // namespace lsg

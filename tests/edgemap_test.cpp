@@ -19,6 +19,15 @@ TEST(VertexSubsetTest, SingleAndAll) {
   EXPECT_EQ(all.vertices().back(), 4u);
 }
 
+// These graphs are directed, so the tests pin Direction::kPush — the auto
+// heuristic may pick pull, which reads out-neighbors as in-neighbors and is
+// only meaningful on symmetrized graphs.
+EdgeMapOptions PushOnly() {
+  EdgeMapOptions options;
+  options.direction = Direction::kPush;
+  return options;
+}
+
 TEST(EdgeMapTest, VisitsEveryEdgeFromFrontier) {
   ThreadPool pool(3);
   LSGraph g(6);
@@ -26,8 +35,7 @@ TEST(EdgeMapTest, VisitsEveryEdgeFromFrontier) {
   g.InsertEdge(0, 2);
   g.InsertEdge(1, 3);
   g.InsertEdge(4, 5);
-  VertexSubset frontier(6);
-  frontier.mutable_vertices() = {0, 1};
+  VertexSubset frontier = VertexSubset::FromVertices(6, {0, 1});
   std::atomic<int> visited{0};
   VertexSubset next = EdgeMap(
       g, frontier,
@@ -35,7 +43,7 @@ TEST(EdgeMapTest, VisitsEveryEdgeFromFrontier) {
         visited.fetch_add(1, std::memory_order_relaxed);
         return true;
       },
-      [](VertexId) { return true; }, pool);
+      [](VertexId) { return true; }, pool, PushOnly());
   EXPECT_EQ(visited.load(), 3);  // edges (0,1),(0,2),(1,3); (4,5) untouched
   EXPECT_EQ(next.size(), 3u);
 }
@@ -49,7 +57,7 @@ TEST(EdgeMapTest, CondFiltersTargets) {
   VertexSubset frontier = VertexSubset::Single(4, 0);
   VertexSubset next = EdgeMap(
       g, frontier, [](VertexId, VertexId) { return true; },
-      [](VertexId v) { return v % 2 == 1; }, pool);
+      [](VertexId v) { return v % 2 == 1; }, pool, PushOnly());
   std::vector<VertexId> got = next.vertices();
   std::sort(got.begin(), got.end());
   EXPECT_EQ(got, (std::vector<VertexId>{1, 3}));

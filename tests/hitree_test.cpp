@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <vector>
 
@@ -276,6 +277,47 @@ INSTANTIATE_TEST_SUITE_P(
                       HiParam{8, 64, 4, 1000},       // tiny blocks
                       HiParam{32, 4096, 16, 50000},  // paper defaults
                       HiParam{16, 128, 8, 4000000000ull}));
+
+TEST(LiaTest, MapWhileStopsAcrossChildBoundaries) {
+  Options o = SmallThresholds();
+  std::vector<VertexId> ids = Iota(1000, 3);
+  Lia lia(o, ids);
+  std::vector<VertexId> seen;
+  // 300 ids crosses multiple packed blocks / child subtrees.
+  bool full = lia.MapWhile([&seen](VertexId v) {
+    seen.push_back(v);
+    return seen.size() < 300;
+  });
+  EXPECT_FALSE(full);
+  ASSERT_EQ(seen.size(), 300u);
+  EXPECT_TRUE(std::equal(seen.begin(), seen.end(), ids.begin()));
+  size_t visits = 0;
+  EXPECT_TRUE(lia.MapWhile([&visits](VertexId) {
+    ++visits;
+    return true;
+  }));
+  EXPECT_EQ(visits, lia.size());
+}
+
+TEST(HiNodeTest, MapWhileWorksInEveryKind) {
+  Options o = SmallThresholds();
+  for (VertexId n : {o.a_threshold,          // kArray
+                     o.m_threshold,          // kRia
+                     o.m_threshold + 64}) {  // kLia
+    HiNode node(o);
+    node.BulkLoad(Iota(n));
+    size_t visits = 0;
+    bool full = node.MapWhile([&visits](VertexId) { return ++visits < 3; });
+    EXPECT_FALSE(full) << "n=" << n;
+    EXPECT_EQ(visits, 3u) << "n=" << n;
+    visits = 0;
+    EXPECT_TRUE(node.MapWhile([&visits](VertexId) {
+      ++visits;
+      return true;
+    }));
+    EXPECT_EQ(visits, node.size()) << "n=" << n;
+  }
+}
 
 }  // namespace
 }  // namespace lsg

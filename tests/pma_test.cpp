@@ -154,5 +154,25 @@ INSTANTIATE_TEST_SUITE_P(
                       PmaParam{0.30, 0.95, 0.40, 0.80, 100},
                       PmaParam{0.10, 0.90, 0.25, 0.75, 1000000}));
 
+TEST(PmaTest, MapSlotsWhileStopsAtFirstFalse) {
+  Pma pma;
+  for (uint64_t k = 0; k < 500; ++k) {
+    pma.Insert(k * 2);
+  }
+  std::vector<uint64_t> seen;
+  bool full = pma.MapSlotsWhile(0, pma.capacity(), [&seen](uint64_t k) {
+    seen.push_back(k);
+    return seen.size() < 7;
+  });
+  EXPECT_FALSE(full);
+  EXPECT_EQ(seen, (std::vector<uint64_t>{0, 2, 4, 6, 8, 10, 12}));
+  size_t visits = 0;
+  EXPECT_TRUE(pma.MapSlotsWhile(0, pma.capacity(), [&visits](uint64_t) {
+    ++visits;
+    return true;
+  }));
+  EXPECT_EQ(visits, pma.size());
+}
+
 }  // namespace
 }  // namespace lsg

@@ -234,5 +234,25 @@ INSTANTIATE_TEST_SUITE_P(
                       RiaParam{1.2, 64, 100000},
                       RiaParam{1.3, 16, 4000000000ull}));
 
+TEST(RiaTest, MapWhileStopsAtFirstFalse) {
+  Ria ria(MakeOptions(1.2, 16));
+  for (VertexId v = 0; v < 200; ++v) {
+    ria.Insert(v * 3);
+  }
+  std::vector<VertexId> seen;
+  bool full = ria.MapWhile([&seen](VertexId v) {
+    seen.push_back(v);
+    return seen.size() < 5;
+  });
+  EXPECT_FALSE(full);  // cut short
+  EXPECT_EQ(seen, (std::vector<VertexId>{0, 3, 6, 9, 12}));  // ascending
+  size_t visits = 0;
+  EXPECT_TRUE(ria.MapWhile([&visits](VertexId) {
+    ++visits;
+    return true;
+  }));
+  EXPECT_EQ(visits, ria.size());
+}
+
 }  // namespace
 }  // namespace lsg

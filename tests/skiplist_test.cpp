@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <vector>
 
@@ -187,6 +188,30 @@ TEST(SortledtonGraphTest, OutOfRangeEndpointsRejectedAndCounted) {
   EXPECT_TRUE(g.HasEdge(0, 8));
   EXPECT_EQ(g.oob_rejected(), 7u);
   EXPECT_TRUE(g.CheckInvariants());
+}
+
+TEST(BlockSkipListTest, MapWhileStopsAtFirstFalse) {
+  BlockSkipList l;
+  std::vector<VertexId> ids;
+  for (VertexId v = 0; v < 2000; ++v) {
+    ids.push_back(v * 5);
+    l.Insert(v * 5);
+  }
+  std::vector<VertexId> seen;
+  // Deep enough to cross several blocks on the level-0 chain.
+  bool full = l.MapWhile([&seen](VertexId v) {
+    seen.push_back(v);
+    return seen.size() < 50;
+  });
+  EXPECT_FALSE(full);
+  ASSERT_EQ(seen.size(), 50u);
+  EXPECT_TRUE(std::equal(seen.begin(), seen.end(), ids.begin()));
+  size_t visits = 0;
+  EXPECT_TRUE(l.MapWhile([&visits](VertexId) {
+    ++visits;
+    return true;
+  }));
+  EXPECT_EQ(visits, l.size());
 }
 
 }  // namespace
