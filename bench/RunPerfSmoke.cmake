@@ -1,0 +1,46 @@
+# Perfsmoke harness: runs one bench binary at tiny scale, then checks that
+# its emitted BENCH_<experiment>.json passes schema validation and that the
+# comparator can round-trip it (smoke self-compare — schema + row matching,
+# no regression gating; tiny-scale numbers are pure noise).
+#
+# Invoked by CTest as
+#   cmake -DBENCH_BIN=... -DCOMPARE_BIN=... -DOUT_DIR=... [-DEXTRA_ARGS=...]
+#         -P RunPerfSmoke.cmake
+foreach(var BENCH_BIN COMPARE_BIN OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "RunPerfSmoke.cmake: ${var} not set")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+set(extra_args)
+if(DEFINED EXTRA_ARGS AND NOT EXTRA_ARGS STREQUAL "")
+  separate_arguments(extra_args UNIX_COMMAND "${EXTRA_ARGS}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env LSG_BENCH_SCALE=tiny "LSG_BENCH_OUT=${OUT_DIR}"
+          "${BENCH_BIN}" ${extra_args}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench run failed (exit ${rc}): ${BENCH_BIN}")
+endif()
+
+file(GLOB emitted "${OUT_DIR}/BENCH_*.json")
+if(emitted STREQUAL "")
+  message(FATAL_ERROR "no BENCH_*.json emitted into ${OUT_DIR}")
+endif()
+
+execute_process(COMMAND "${COMPARE_BIN}" --check "${OUT_DIR}"
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "schema validation failed (exit ${rc})")
+endif()
+
+execute_process(COMMAND "${COMPARE_BIN}" --smoke "${OUT_DIR}" "${OUT_DIR}"
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "smoke self-compare failed (exit ${rc})")
+endif()

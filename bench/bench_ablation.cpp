@@ -65,7 +65,8 @@ class PmaTailGraph {
   ThreadPool* pool_;
 };
 
-void RunDataset(const DatasetSpec& spec, ThreadPool& pool) {
+void RunDataset(const DatasetSpec& spec, ThreadPool& pool,
+                BenchReporter& reporter) {
   std::printf("\n--- %s ---\n", spec.name.c_str());
   uint64_t batch_size = LargeBatch();
   std::vector<Edge> batch = BuildUpdateBatch(spec, batch_size, /*trial=*/0);
@@ -96,6 +97,23 @@ void RunDataset(const DatasetSpec& spec, ThreadPool& pool) {
     g.InsertBatch(batch);
     pma_tail_s = timer.Seconds();
   }
+  auto add_time = [&](const char* engine, const char* metric, double value) {
+    reporter.Add({.dataset = spec.name,
+                  .engine = engine,
+                  .metric = metric,
+                  .value = value,
+                  .unit = "s",
+                  .batch_size = static_cast<int64_t>(batch_size)});
+  };
+  add_time("LSGraph", "insert_time", full_s);
+  add_time("LSGraph-noHITree", "insert_time", ria_only_s);
+  add_time("PMA-tails", "insert_time", pma_tail_s);
+  reporter.Add({.dataset = spec.name,
+                .engine = "LSGraph",
+                .metric = "ria_to_hitree_conversions",
+                .value = static_cast<double>(conversions),
+                .unit = "count",
+                .batch_size = static_cast<int64_t>(batch_size)});
   std::printf("full LSGraph       %8.3fs  (%llu RIA->HITree conversions)\n",
               full_s, static_cast<unsigned long long>(conversions));
   std::printf("RIA-only (no HITree) %6.3fs  -> HITree contributes %.1f%%\n",
@@ -139,6 +157,16 @@ void RunDataset(const DatasetSpec& spec, ThreadPool& pool) {
         "[checksum %llu]\n",
         learned_s, binary_s, learned_s > 0 ? binary_s / learned_s : 0.0,
         static_cast<unsigned long long>(hits));
+    reporter.Add({.dataset = spec.name,
+                  .engine = "LSGraph",
+                  .metric = "lia_learned_lookup_time",
+                  .value = learned_s,
+                  .unit = "s"});
+    reporter.Add({.dataset = spec.name,
+                  .engine = "LSGraph",
+                  .metric = "lia_binary_lookup_time",
+                  .value = binary_s,
+                  .unit = "s"});
   }
 }
 
@@ -150,11 +178,12 @@ int main() {
   using namespace lsg;
   using namespace lsg::bench;
   PrintHeader("§6.2 ablation: RIA / HITree / LIA contributions");
+  BenchReporter reporter("ablation");
   ThreadPool pool;
   for (const DatasetSpec& spec : BenchDatasets()) {
     if (spec.name == "LJ" || spec.name == "OR") {
-      RunDataset(spec, pool);
+      RunDataset(spec, pool, reporter);
     }
   }
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

@@ -60,7 +60,27 @@ KernelTimes RunKernels(const G& g, VertexId source, ThreadPool& pool,
   return t;
 }
 
-void RunDataset(const DatasetSpec& spec, ThreadPool& pool) {
+void ReportKernels(BenchReporter& reporter, const std::string& dataset,
+                   const char* engine, const KernelTimes& t) {
+  auto add = [&](const char* metric, double value) {
+    reporter.Add({.dataset = dataset,
+                  .engine = engine,
+                  .metric = metric,
+                  .value = value,
+                  .unit = "s"});
+  };
+  add("bfs_time", t.bfs);
+  add("bc_time", t.bc);
+  add("pagerank_time", t.pr);
+  add("cc_time", t.cc);
+  if (t.has_tc) {
+    add("tc_time", t.tc);
+    add("tc_traversal_time", t.tc_traversal);
+  }
+}
+
+void RunDataset(const DatasetSpec& spec, ThreadPool& pool,
+                BenchReporter& reporter) {
   // TC is reported for LJ/OR/RM/TW (Table 2 has no FR row).
   bool run_tc = spec.name != "FR";
   VertexId source = 0;
@@ -91,6 +111,10 @@ void RunDataset(const DatasetSpec& spec, ThreadPool& pool) {
     auto g = MakePacTree(spec, &pool);
     pactree = RunKernels(*g, source, pool, /*run_tc=*/false);
   }
+  ReportKernels(reporter, spec.name, "LSGraph", ls);
+  ReportKernels(reporter, spec.name, "Terrace", terrace);
+  ReportKernels(reporter, spec.name, "Aspen", aspen);
+  ReportKernels(reporter, spec.name, "PaC-tree", pactree);
 
   std::printf("\n--- %s ---\n", spec.name.c_str());
   std::printf("Fig.13 rows (time in s; x = normalized to LSGraph)\n");
@@ -126,7 +150,8 @@ void RunDataset(const DatasetSpec& spec, ThreadPool& pool) {
 // actually decoded as a share of the degree sum the scan covered. Auto must
 // not lose to push-only; on dense levels the decoded share sits well under
 // 100% because a claimed vertex stops decoding immediately.
-void RunDirectionStudy(const DatasetSpec& spec, ThreadPool& pool) {
+void RunDirectionStudy(const DatasetSpec& spec, ThreadPool& pool,
+                       BenchReporter& reporter) {
   auto g = MakeLsGraph(spec, &pool);
   VertexId source = 0;
   for (VertexId v = 0; v < g->num_vertices(); ++v) {
@@ -159,6 +184,24 @@ void RunDirectionStudy(const DatasetSpec& spec, ThreadPool& pool) {
       static_cast<unsigned long long>(stats.edgemap_pull_rounds.load()),
       degree > 0 ? 100.0 * decoded / degree : 0.0,
       static_cast<unsigned long long>(stats.pull_early_exits.load()));
+  reporter.Add({.dataset = spec.name,
+                .engine = "LSGraph",
+                .metric = "bfs_push_time",
+                .value = push_s,
+                .unit = "s"});
+  reporter.Add({.dataset = spec.name,
+                .engine = "LSGraph",
+                .metric = "bfs_auto_time",
+                .value = auto_s,
+                .unit = "s"});
+  if (degree > 0) {
+    reporter.Add({.dataset = spec.name,
+                  .engine = "LSGraph",
+                  .metric = "pull_decoded_share",
+                  .value = 100.0 * decoded / degree,
+                  .unit = "%"});
+  }
+  reporter.AddCoreStats(spec.name, "LSGraph", stats, "study=direction");
 
   // Frontier prep: the cached parallel EdgeSum vs a serial degree loop over
   // the same frontier. This is the regression guard for the old serial
@@ -189,6 +232,16 @@ void RunDirectionStudy(const DatasetSpec& spec, ThreadPool& pool) {
               "serial %.5fs  speedup %.2fx\n",
               g->num_vertices(), par_s, ser_s,
               par_s > 0 ? ser_s / par_s : 0.0);
+  reporter.Add({.dataset = spec.name,
+                .engine = "LSGraph",
+                .metric = "edgesum_parallel_time",
+                .value = par_s,
+                .unit = "s"});
+  reporter.Add({.dataset = spec.name,
+                .engine = "LSGraph",
+                .metric = "edgesum_serial_time",
+                .value = ser_s,
+                .unit = "s"});
 }
 
 }  // namespace
@@ -200,14 +253,15 @@ int main() {
   using namespace lsg::bench;
   PrintHeader(
       "Fig. 13 + Table 2 (+ Fig. 3a): analytics across the four systems");
+  BenchReporter reporter("analytics");
   ThreadPool pool;
   for (const DatasetSpec& spec : BenchDatasets()) {
-    RunDataset(spec, pool);
+    RunDataset(spec, pool, reporter);
   }
   std::printf("\n--- Direction optimization (push vs auto) + pull early exit "
               "---\n");
   for (const DatasetSpec& spec : BenchDatasets()) {
-    RunDirectionStudy(spec, pool);
+    RunDirectionStudy(spec, pool, reporter);
   }
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

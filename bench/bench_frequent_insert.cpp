@@ -30,6 +30,7 @@ int main() {
   using namespace lsg;
   using namespace lsg::bench;
   PrintHeader("Fig. 16: five consecutive large inserts on OR");
+  BenchReporter reporter("frequent_insert");
   ThreadPool pool;
   DatasetSpec spec;
   for (const DatasetSpec& s : BenchDatasets()) {
@@ -60,7 +61,17 @@ int main() {
           static_cast<unsigned long long>(g->stats().ria_expansions.load()),
           static_cast<unsigned long long>(
               g->stats().lia_child_creations.load()));
+      char params[48];
+      std::snprintf(params, sizeof(params), "alpha=%.1f M=%u", alpha, m);
+      reporter.Add({.dataset = spec.name,
+                    .engine = "LSGraph",
+                    .metric = "mean_insert_time",
+                    .value = total / 5,
+                    .unit = "s",
+                    .batch_size = static_cast<int64_t>(batch_size),
+                    .params = params});
+      reporter.AddCoreStats(spec.name, "LSGraph", g->stats(), params);
     }
   }
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

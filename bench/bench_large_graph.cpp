@@ -33,6 +33,7 @@ int main() {
   using namespace lsg;
   using namespace lsg::bench;
   PrintHeader("§6.5: graph500-style large graph, LSGraph vs Aspen/PaC-tree");
+  BenchReporter reporter("large_graph");
   ThreadPool pool;
   DatasetSpec spec = LargeSpec();
   uint64_t batch_size = LargeBatch();
@@ -64,5 +65,16 @@ int main() {
       "PaC-tree %.2fx\n",
       spec.scale, static_cast<unsigned long long>(batch_size), ls,
       aspen > 0 ? ls / aspen : 0.0, pactree > 0 ? ls / pactree : 0.0);
-  return 0;
+  auto add = [&](const char* engine, double tput) {
+    reporter.Add({.dataset = spec.name,
+                  .engine = engine,
+                  .metric = "insert_throughput",
+                  .value = tput,
+                  .unit = "edges/s",
+                  .batch_size = static_cast<int64_t>(batch_size)});
+  };
+  add("LSGraph", ls);
+  add("Aspen", aspen);
+  add("PaC-tree", pactree);
+  return reporter.Write() ? 0 : 1;
 }

@@ -14,7 +14,8 @@ namespace {
 
 double Gib(size_t bytes) { return static_cast<double>(bytes) / (1 << 30); }
 
-void RunDataset(const DatasetSpec& spec, ThreadPool& pool) {
+void RunDataset(const DatasetSpec& spec, ThreadPool& pool,
+                BenchReporter& reporter) {
   size_t ls_bytes;
   size_t ls_index;
   EdgeCount edges;
@@ -47,6 +48,27 @@ void RunDataset(const DatasetSpec& spec, ThreadPool& pool) {
       Gib(terrace_bytes), Gib(aspen_bytes), Gib(pactree_bytes),
       static_cast<double>(terrace_bytes) / ls_bytes,
       100.0 * ls_index / ls_bytes);
+  auto add = [&](const char* engine, size_t bytes) {
+    reporter.Add({.dataset = spec.name,
+                  .engine = engine,
+                  .metric = "memory_footprint",
+                  .value = static_cast<double>(bytes),
+                  .unit = "bytes"});
+  };
+  add("LSGraph", ls_bytes);
+  add("Terrace", terrace_bytes);
+  add("Aspen", aspen_bytes);
+  add("PaC-tree", pactree_bytes);
+  reporter.Add({.dataset = spec.name,
+                .engine = "LSGraph",
+                .metric = "index_bytes",
+                .value = static_cast<double>(ls_index),
+                .unit = "bytes"});
+  reporter.Add({.dataset = spec.name,
+                .engine = "LSGraph",
+                .metric = "num_edges",
+                .value = static_cast<double>(edges),
+                .unit = "count"});
 }
 
 }  // namespace
@@ -57,9 +79,10 @@ int main() {
   using namespace lsg;
   using namespace lsg::bench;
   PrintHeader("Table 3: memory footprint and index overhead");
+  BenchReporter reporter("memory");
   ThreadPool pool;
   for (const DatasetSpec& spec : BenchDatasets()) {
-    RunDataset(spec, pool);
+    RunDataset(spec, pool, reporter);
   }
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

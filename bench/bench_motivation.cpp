@@ -12,7 +12,7 @@ namespace lsg {
 namespace bench {
 namespace {
 
-void FigureA(ThreadPool& pool) {
+void FigureA(ThreadPool& pool, BenchReporter& reporter) {
   std::printf("\nFig. 3(a): BFS time normalized to Terrace\n");
   for (const DatasetSpec& spec : BenchDatasets()) {
     if (spec.name == "FR") {
@@ -42,10 +42,20 @@ void FigureA(ThreadPool& pool) {
     }
     std::printf("%-4s Terrace 1.00x  Aspen %.2fx\n", spec.name.c_str(),
                 terrace_s > 0 ? aspen_s / terrace_s : 0.0);
+    reporter.Add({.dataset = spec.name,
+                  .engine = "Terrace",
+                  .metric = "bfs_time",
+                  .value = terrace_s,
+                  .unit = "s"});
+    reporter.Add({.dataset = spec.name,
+                  .engine = "Aspen",
+                  .metric = "bfs_time",
+                  .value = aspen_s,
+                  .unit = "s"});
   }
 }
 
-void FigureB(ThreadPool& pool) {
+void FigureB(ThreadPool& pool, BenchReporter& reporter) {
   std::printf("\nFig. 3(b): insertion throughput on OR (edges/s)\n");
   DatasetSpec spec;
   for (const DatasetSpec& s : BenchDatasets()) {
@@ -63,10 +73,16 @@ void FigureB(ThreadPool& pool) {
     auto g = factory(&pool);
     for (uint64_t batch_size : BatchSizes()) {
       std::vector<Edge> batch = BuildUpdateBatch(spec, batch_size, 0);
-      auto [ins_s, del_s] = TimeInsertDeleteRound(*g, batch);
-      (void)del_s;
-      std::printf(" %12.3e", Throughput(batch_size, ins_s));
+      InsertDeleteTiming t = TimeInsertDeleteRound(*g, batch);
+      double ins = Throughput(batch_size, t.insert_seconds);
+      std::printf(" %12.3e", ins);
       std::fflush(stdout);
+      reporter.Add({.dataset = spec.name,
+                    .engine = name,
+                    .metric = "insert_throughput",
+                    .value = ins,
+                    .unit = "edges/s",
+                    .batch_size = static_cast<int64_t>(batch_size)});
     }
     std::printf("\n");
   };
@@ -82,8 +98,9 @@ int main() {
   using namespace lsg;
   using namespace lsg::bench;
   PrintHeader("Fig. 3: motivation — Terrace vs Aspen trade-off");
+  BenchReporter reporter("motivation");
   ThreadPool pool;
-  FigureA(pool);
-  FigureB(pool);
-  return 0;
+  FigureA(pool, reporter);
+  FigureB(pool, reporter);
+  return reporter.Write() ? 0 : 1;
 }

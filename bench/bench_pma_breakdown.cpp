@@ -15,7 +15,7 @@ namespace lsg {
 namespace bench {
 namespace {
 
-void RunDataset(const DatasetSpec& spec) {
+void RunDataset(const DatasetSpec& spec, BenchReporter& reporter) {
   ThreadPool pool(1);  // single thread, as in the paper's Fig. 4 analysis
   TerraceOptions options;
   options.pma.timing = true;
@@ -42,6 +42,23 @@ void RunDataset(const DatasetSpec& spec) {
       static_cast<unsigned long long>(stats.elements_moved),
       static_cast<unsigned long long>(stats.rebalances),
       static_cast<unsigned long long>(stats.resizes));
+  auto add = [&](const char* metric, double value, const char* unit) {
+    reporter.Add({.dataset = spec.name,
+                  .engine = "Terrace",
+                  .metric = metric,
+                  .value = value,
+                  .unit = unit,
+                  .batch_size = static_cast<int64_t>(batch_size),
+                  .threads = 1});
+  };
+  add("insert_total_time", total_s, "s");
+  add("pma_search_time", stats.search_seconds, "s");
+  add("pma_move_time", stats.move_seconds, "s");
+  add("pma_share", total_s > 0 ? 100.0 * pma_s / total_s : 0.0, "%");
+  add("pma_elements_moved", static_cast<double>(stats.elements_moved),
+      "count");
+  add("pma_rebalances", static_cast<double>(stats.rebalances), "count");
+  add("pma_resizes", static_cast<double>(stats.resizes), "count");
 }
 
 }  // namespace
@@ -52,11 +69,12 @@ int main() {
   using namespace lsg;
   using namespace lsg::bench;
   PrintHeader("Fig. 4: Terrace insertion-time breakdown (single thread)");
+  BenchReporter reporter("pma_breakdown");
   for (const DatasetSpec& spec : BenchDatasets()) {
     if (spec.name == "FR") {
       continue;  // Terrace omitted on FR throughout the paper
     }
-    RunDataset(spec);
+    RunDataset(spec, reporter);
   }
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

@@ -20,7 +20,7 @@ std::vector<size_t> ThreadCounts() {
   return {1, 2, 4, 8};
 }
 
-void Run(const DatasetSpec& spec) {
+void Run(const DatasetSpec& spec, BenchReporter& reporter) {
   uint64_t batch_size = BenchScale() == Scale::kFull ? 10000000 : 200000;
   std::vector<Edge> batch = BuildUpdateBatch(spec, batch_size, /*trial=*/0);
   std::printf("%-9s", "threads");
@@ -37,8 +37,16 @@ void Run(const DatasetSpec& spec) {
       Timer timer;
       g->InsertBatch(batch);
       double seconds = timer.Seconds();
-      std::printf(" %10.3e", Throughput(batch_size, seconds));
+      double tput = Throughput(batch_size, seconds);
+      std::printf(" %10.3e", tput);
       std::fflush(stdout);
+      reporter.Add({.dataset = spec.name,
+                    .engine = name,
+                    .metric = "insert_throughput",
+                    .value = tput,
+                    .unit = "edges/s",
+                    .batch_size = static_cast<int64_t>(batch_size),
+                    .threads = static_cast<int64_t>(threads)});
     }
     std::printf("\n");
   };
@@ -59,10 +67,11 @@ int main() {
   using namespace lsg;
   using namespace lsg::bench;
   PrintHeader("Fig. 17: insert scalability vs thread count on OR");
+  BenchReporter reporter("scalability");
   for (const DatasetSpec& spec : BenchDatasets()) {
     if (spec.name == "OR") {
-      Run(spec);
+      Run(spec, reporter);
     }
   }
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

@@ -25,7 +25,8 @@ std::vector<uint32_t> MThresholds() {
   return {1 << 8, 1 << 10, 1 << 12, 1 << 14};
 }
 
-void RunDataset(const DatasetSpec& spec, ThreadPool& pool) {
+void RunDataset(const DatasetSpec& spec, ThreadPool& pool,
+                BenchReporter& reporter) {
   std::printf("\n--- %s ---\n", spec.name.c_str());
   uint64_t batch_size = LargeBatch();
   std::vector<Edge> batch = BuildUpdateBatch(spec, batch_size, /*trial=*/0);
@@ -44,6 +45,21 @@ void RunDataset(const DatasetSpec& spec, ThreadPool& pool) {
       std::printf(
           "alpha=%.1f M=2^%-2d  Fig.14 insert %8.3fs  Fig.15 PR %8.4fs\n",
           alpha, 31 - __builtin_clz(m), insert_s, pr_s);
+      char params[48];
+      std::snprintf(params, sizeof(params), "alpha=%.1f M=%u", alpha, m);
+      reporter.Add({.dataset = spec.name,
+                    .engine = "LSGraph",
+                    .metric = "insert_time",
+                    .value = insert_s,
+                    .unit = "s",
+                    .batch_size = static_cast<int64_t>(batch_size),
+                    .params = params});
+      reporter.Add({.dataset = spec.name,
+                    .engine = "LSGraph",
+                    .metric = "pagerank_time",
+                    .value = pr_s,
+                    .unit = "s",
+                    .params = params});
     }
   }
 }
@@ -56,12 +72,13 @@ int main() {
   using namespace lsg;
   using namespace lsg::bench;
   PrintHeader("Figs. 14-15: alpha / M sensitivity (insert + PageRank)");
+  BenchReporter reporter("sensitivity");
   ThreadPool pool;
   for (const DatasetSpec& spec : BenchDatasets()) {
     if (spec.name != "LJ" && spec.name != "RM" && spec.name != "TW") {
       continue;  // the paper's sensitivity study uses LJ, RM, TW
     }
-    RunDataset(spec, pool);
+    RunDataset(spec, pool, reporter);
   }
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

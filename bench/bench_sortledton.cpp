@@ -20,28 +20,42 @@ namespace lsg {
 namespace bench {
 namespace {
 
-void RunDataset(const DatasetSpec& spec, ThreadPool& pool) {
+void RunDataset(const DatasetSpec& spec, ThreadPool& pool,
+                BenchReporter& reporter) {
   uint64_t batch_size = LargeBatch();
   std::vector<Edge> batch = BuildUpdateBatch(spec, batch_size, 0);
 
-  auto measure = [&](auto& g) {
-    auto [ins_s, del_s] = TimeInsertDeleteRound(g, batch);
+  auto measure = [&](auto& g, const char* engine) {
+    InsertDeleteTiming t = TimeInsertDeleteRound(g, batch);
     (void)Bfs(g, 0, pool);  // warmup
     Timer timer;
     (void)Bfs(g, 0, pool);
-    return std::tuple{Throughput(batch_size, ins_s),
-                      Throughput(batch_size, del_s), timer.Seconds()};
+    double bfs_s = timer.Seconds();
+    double ins = Throughput(batch_size, t.insert_seconds);
+    double del = Throughput(t.deleted_edges, t.delete_seconds);
+    auto add = [&](const char* metric, double value, const char* unit) {
+      reporter.Add({.dataset = spec.name,
+                    .engine = engine,
+                    .metric = metric,
+                    .value = value,
+                    .unit = unit,
+                    .batch_size = static_cast<int64_t>(batch_size)});
+    };
+    add("insert_throughput", ins, "edges/s");
+    add("delete_throughput", del, "edges/s");
+    add("bfs_time", bfs_s, "s");
+    return std::tuple{ins, del, bfs_s};
   };
 
   SortledtonGraph sortledton(NumVerticesFor(spec), &pool);
   sortledton.BuildFromEdges(BuildDatasetEdges(spec));
-  auto [sl_ins, sl_del, sl_bfs] = measure(sortledton);
+  auto [sl_ins, sl_del, sl_bfs] = measure(sortledton, "Sortledton");
 
   auto pactree = MakePacTree(spec, &pool);
-  auto [pt_ins, pt_del, pt_bfs] = measure(*pactree);
+  auto [pt_ins, pt_del, pt_bfs] = measure(*pactree, "PaC-tree");
 
   auto lsgraph = MakeLsGraph(spec, &pool);
-  auto [ls_ins, ls_del, ls_bfs] = measure(*lsgraph);
+  auto [ls_ins, ls_del, ls_bfs] = measure(*lsgraph, "LSGraph");
 
   std::printf(
       "%-4s insert e/s: Sortledton %9.3e  PaC %9.3e (%.2fx)  LSGraph %9.3e "
@@ -58,11 +72,12 @@ int main() {
   using namespace lsg;
   using namespace lsg::bench;
   PrintHeader("§6.1: PaC-tree vs Sortledton (baseline-selection experiment)");
+  BenchReporter reporter("sortledton");
   ThreadPool pool;
   for (const DatasetSpec& spec : BenchDatasets()) {
     if (spec.name == "LJ" || spec.name == "OR" || spec.name == "TW") {
-      RunDataset(spec, pool);
+      RunDataset(spec, pool, reporter);
     }
   }
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

@@ -28,7 +28,8 @@ double ReplayStream(G& g, const std::vector<Edge>& stream) {
   return Throughput(stream.size(), timer.Seconds());
 }
 
-void Run(const TemporalSpec& spec, ThreadPool& pool) {
+void Run(const TemporalSpec& spec, ThreadPool& pool,
+         BenchReporter& reporter) {
   TemporalSplit split = SplitTemporalStream(GenerateTemporalStream(spec));
   double ls;
   double terrace;
@@ -60,6 +61,17 @@ void Run(const TemporalSpec& spec, ThreadPool& pool) {
       spec.name.c_str(), static_cast<unsigned long long>(spec.num_events), ls,
       terrace > 0 ? ls / terrace : 0.0, aspen > 0 ? ls / aspen : 0.0,
       pactree > 0 ? ls / pactree : 0.0);
+  auto add = [&](const char* engine, double tput) {
+    reporter.Add({.dataset = spec.name,
+                  .engine = engine,
+                  .metric = "stream_throughput",
+                  .value = tput,
+                  .unit = "edges/s"});
+  };
+  add("LSGraph", ls);
+  add("Terrace", terrace);
+  add("Aspen", aspen);
+  add("PaC-tree", pactree);
 }
 
 }  // namespace
@@ -70,9 +82,10 @@ int main() {
   using namespace lsg;
   using namespace lsg::bench;
   PrintHeader("Table 4 / §6.5: real-world-style temporal streams (10% streamed)");
+  BenchReporter reporter("streaming");
   ThreadPool pool;
   for (const TemporalSpec& spec : TemporalDatasets()) {
-    Run(spec, pool);
+    Run(spec, pool, reporter);
   }
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

@@ -4,8 +4,10 @@
 // Figs. 4 and 12 (search cost, movement cost, pointer-chasing cost).
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
+#include "bench/common.h"
 #include "src/btree/btree_set.h"
 #include "src/core/hitree.h"
 #include "src/core/options.h"
@@ -193,7 +195,55 @@ void BM_BTreeScan(benchmark::State& state) {
 }
 BENCHMARK(BM_BTreeScan)->Arg(1000000);
 
+// Console reporter that additionally routes every finished run into the
+// shared telemetry registry, so the microbenchmarks emit the same
+// BENCH_<experiment>.json grid as the macro benchmarks.
+class TelemetryReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit TelemetryReporter(bench::BenchReporter* out) : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred ||
+          run.iterations == 0) {
+        continue;
+      }
+      std::string name = run.benchmark_name();
+      std::string engine = name.substr(0, name.find('/'));
+      auto add = [&](const char* metric, double value, const char* unit) {
+        out_->Add({.dataset = "micro",
+                   .engine = engine,
+                   .metric = metric,
+                   .value = value,
+                   .unit = unit,
+                   .params = name});
+      };
+      add("time", run.real_accumulated_time /
+                      static_cast<double>(run.iterations),
+          "s");
+      auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) {
+        add("items_throughput", static_cast<double>(it->second), "items/s");
+      }
+    }
+  }
+
+ private:
+  bench::BenchReporter* out_;
+};
+
 }  // namespace
 }  // namespace lsg
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  lsg::bench::BenchReporter reporter("structures");
+  lsg::TelemetryReporter display(&reporter);
+  benchmark::RunSpecifiedBenchmarks(&display);
+  benchmark::Shutdown();
+  return reporter.Write() ? 0 : 1;
+}

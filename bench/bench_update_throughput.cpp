@@ -23,17 +23,31 @@ struct Row {
 
 template <typename G>
 void RunSystem(const char* name, G& g, const DatasetSpec& spec,
-               std::vector<Row>* rows) {
+               std::vector<Row>* rows, BenchReporter& reporter) {
+  auto round = [&](uint64_t batch_size, uint64_t trial) {
+    std::vector<Edge> batch = BuildUpdateBatch(spec, batch_size, trial);
+    InsertDeleteTiming t = TimeInsertDeleteRound(g, batch);
+    double ins = Throughput(batch_size, t.insert_seconds);
+    double del = Throughput(t.deleted_edges, t.delete_seconds);
+    rows->push_back(Row{name, batch_size, ins, del});
+    reporter.Add({.dataset = spec.name,
+                  .engine = name,
+                  .metric = "insert_throughput",
+                  .value = ins,
+                  .unit = "edges/s",
+                  .batch_size = static_cast<int64_t>(batch_size)});
+    reporter.Add({.dataset = spec.name,
+                  .engine = name,
+                  .metric = "delete_throughput",
+                  .value = del,
+                  .unit = "edges/s",
+                  .batch_size = static_cast<int64_t>(batch_size)});
+  };
   for (uint64_t batch_size : BatchSizes()) {
-    std::vector<Edge> batch = BuildUpdateBatch(spec, batch_size, /*trial=*/0);
-    auto [ins_s, del_s] = TimeInsertDeleteRound(g, batch);
-    rows->push_back(Row{name, batch_size, Throughput(batch_size, ins_s),
-                        Throughput(batch_size, del_s)});
+    round(batch_size, /*trial=*/0);
   }
   // Small-batch round (batch size 10, §6.2 text).
-  std::vector<Edge> small = BuildUpdateBatch(spec, 10, /*trial=*/1);
-  auto [ins_s, del_s] = TimeInsertDeleteRound(g, small);
-  rows->push_back(Row{name, 10, Throughput(10, ins_s), Throughput(10, del_s)});
+  round(10, /*trial=*/1);
 }
 
 // Phase breakdown for the shared ingestion pipeline (sort / group / apply,
@@ -42,7 +56,7 @@ void RunSystem(const char* name, G& g, const DatasetSpec& spec,
 // the inserted edges are removed afterwards so the snapshot is unchanged.
 template <typename G>
 void RunPhaseBreakdown(const char* name, G& g, const DatasetSpec& spec,
-                       ThreadPool& pool) {
+                       ThreadPool& pool, BenchReporter& reporter) {
   std::printf("\n%s InsertBatch phase breakdown (edges/s):\n", name);
   std::printf("%12s %14s %14s %14s\n", "batch", "sort", "group", "apply");
   for (uint64_t batch_size : BatchSizes()) {
@@ -57,36 +71,50 @@ void RunPhaseBreakdown(const char* name, G& g, const DatasetSpec& spec,
     g.InsertPrepared(pb);
     double apply_s = timer.Seconds();
     g.DeleteBatch(fresh);
+    double sort_tput = Throughput(batch_size, stats.sort_seconds);
+    double group_tput = Throughput(batch_size, stats.group_seconds);
+    double apply_tput = Throughput(batch_size, apply_s);
     std::printf("%12llu %14.3e %14.3e %14.3e\n",
-                static_cast<unsigned long long>(batch_size),
-                Throughput(batch_size, stats.sort_seconds),
-                Throughput(batch_size, stats.group_seconds),
-                Throughput(batch_size, apply_s));
+                static_cast<unsigned long long>(batch_size), sort_tput,
+                group_tput, apply_tput);
+    auto add_phase = [&](const char* phase, double value) {
+      reporter.Add({.dataset = spec.name,
+                    .engine = name,
+                    .metric = std::string("phase_") + phase + "_throughput",
+                    .value = value,
+                    .unit = "edges/s",
+                    .batch_size = static_cast<int64_t>(batch_size)});
+    };
+    add_phase("sort", sort_tput);
+    add_phase("group", group_tput);
+    add_phase("apply", apply_tput);
   }
 }
 
-void RunDataset(const DatasetSpec& spec, ThreadPool& pool) {
+void RunDataset(const DatasetSpec& spec, ThreadPool& pool,
+                BenchReporter& reporter) {
   std::printf("\n--- %s (|V|=%u) ---\n", spec.name.c_str(),
               NumVerticesFor(spec));
   std::vector<Row> rows;
   {
     auto g = MakeLsGraph(spec, &pool);
-    RunSystem("LSGraph", *g, spec, &rows);
-    RunPhaseBreakdown("LSGraph", *g, spec, pool);
+    RunSystem("LSGraph", *g, spec, &rows, reporter);
+    RunPhaseBreakdown("LSGraph", *g, spec, pool, reporter);
+    reporter.AddCoreStats(spec.name, "LSGraph", g->stats());
   }
   // Terrace on the largest graph is omitted, as in the paper ("throughputs
   // of the FR graph for Terrace are omitted because of time constraints").
   if (spec.name != "FR") {
     auto g = MakeTerrace(spec, &pool);
-    RunSystem("Terrace", *g, spec, &rows);
+    RunSystem("Terrace", *g, spec, &rows, reporter);
   }
   {
     auto g = MakeAspen(spec, &pool);
-    RunSystem("Aspen", *g, spec, &rows);
+    RunSystem("Aspen", *g, spec, &rows, reporter);
   }
   {
     auto g = MakePacTree(spec, &pool);
-    RunSystem("PaC-tree", *g, spec, &rows);
+    RunSystem("PaC-tree", *g, spec, &rows, reporter);
   }
 
   std::printf("%-9s %12s %16s %16s\n", "system", "batch", "insert(e/s)",
@@ -126,9 +154,10 @@ int main() {
   using namespace lsg;
   using namespace lsg::bench;
   PrintHeader("Fig. 12: update throughput vs batch size (4 systems, 5 graphs)");
+  BenchReporter reporter("update_throughput");
   ThreadPool pool;
   for (const DatasetSpec& spec : BenchDatasets()) {
-    RunDataset(spec, pool);
+    RunDataset(spec, pool, reporter);
   }
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

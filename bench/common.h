@@ -9,11 +9,15 @@
 #ifndef BENCH_COMMON_H_
 #define BENCH_COMMON_H_
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <limits>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/baselines/ctree_graph.h"
@@ -21,6 +25,7 @@
 #include "src/core/lsgraph.h"
 #include "src/gen/datasets.h"
 #include "src/parallel/thread_pool.h"
+#include "src/util/metrics.h"
 #include "src/util/sort.h"
 #include "src/util/timer.h"
 
@@ -43,10 +48,22 @@ inline Scale BenchScale() {
   return Scale::kSmall;
 }
 
+inline const char* BenchScaleName() {
+  switch (BenchScale()) {
+    case Scale::kTiny:
+      return "tiny";
+    case Scale::kSmall:
+      return "small";
+    case Scale::kFull:
+      return "full";
+  }
+  return "small";
+}
+
 // Paper datasets with scale-dependent shrink applied to vertex counts.
 inline std::vector<DatasetSpec> BenchDatasets() {
   std::vector<DatasetSpec> specs = PaperDatasets();
-  int shrink;
+  int shrink = 0;
   switch (BenchScale()) {
     case Scale::kTiny:
       shrink = 5;
@@ -133,25 +150,35 @@ inline std::unique_ptr<PacTreeGraph> MakePacTree(const DatasetSpec& spec,
   return g;
 }
 
+// Result of one insert-then-delete round. `deleted_edges` is the number of
+// genuinely-new edges the delete phase removed (fresh.size()) — NOT the raw
+// batch size: duplicates and already-present edges never get deleted, so
+// dividing the batch size by delete_seconds would inflate delete throughput.
+struct InsertDeleteTiming {
+  double insert_seconds = 0.0;
+  double delete_seconds = 0.0;
+  uint64_t deleted_edges = 0;
+};
+
 // Times one insert-then-delete round (the paper's §6.2 protocol: a batch is
 // inserted and subsequently deleted so the snapshot is unchanged between
 // rounds). Only the genuinely-new edges are deleted, computed outside the
-// timed region, so base-graph edges survive. Returns
-// {insert_seconds, delete_seconds}.
+// timed region, so base-graph edges survive.
 template <typename G>
-std::pair<double, double> TimeInsertDeleteRound(G& g,
-                                                const std::vector<Edge>& batch) {
+InsertDeleteTiming TimeInsertDeleteRound(G& g, const std::vector<Edge>& batch) {
   std::vector<Edge> fresh(batch.begin(), batch.end());
   ParallelSortEdges(fresh, ThreadPool::Global());
   std::erase_if(fresh, [&g](const Edge& e) { return g.HasEdge(e.src, e.dst); });
 
+  InsertDeleteTiming t;
+  t.deleted_edges = fresh.size();
   Timer timer;
   g.InsertBatch(batch);
-  double insert_s = timer.Seconds();
+  t.insert_seconds = timer.Seconds();
   timer.Reset();
   g.DeleteBatch(fresh);
-  double delete_s = timer.Seconds();
-  return {insert_s, delete_s};
+  t.delete_seconds = timer.Seconds();
+  return t;
 }
 
 inline void PrintHeader(const char* title) {
@@ -164,9 +191,78 @@ inline void PrintHeader(const char* title) {
   std::printf("================================================================\n");
 }
 
+// Edges per second, or NaN when the timer read <= 0 s (a sub-resolution
+// run). The old 0.0 sentinel was indistinguishable from "infinitely slow"
+// and would register as a total regression in the telemetry JSON;
+// BenchReporter::Add drops non-finite rows instead (printf tables show
+// "nan", which is at least honest).
 inline double Throughput(uint64_t edges, double seconds) {
-  return seconds > 0 ? static_cast<double>(edges) / seconds : 0.0;
+  return seconds > 0 ? static_cast<double>(edges) / seconds
+                     : std::numeric_limits<double>::quiet_NaN();
 }
+
+// ---- Telemetry sink (machine-readable mirror of the printf tables). ----
+//
+// Every bench binary owns one BenchReporter and routes each printed number
+// through Add (or AddCoreStats) as well. On Write() — or destruction, as a
+// backstop — the accumulated grid is serialized to
+// $LSG_BENCH_OUT/BENCH_<experiment>.json (default: the working directory).
+// See src/util/metrics.h for the row schema and DESIGN.md §10 for the
+// comparison workflow.
+class BenchReporter {
+ public:
+  explicit BenchReporter(std::string experiment)
+      : registry_(std::move(experiment), BenchScaleName()) {}
+
+  BenchReporter(const BenchReporter&) = delete;
+  BenchReporter& operator=(const BenchReporter&) = delete;
+
+  ~BenchReporter() {
+    if (!written_) {
+      Write();
+    }
+  }
+
+  void Add(MetricRow row) { registry_.Add(std::move(row)); }
+
+  void AddCoreStats(const std::string& dataset, const std::string& engine,
+                    const CoreStats& stats, const std::string& params = "") {
+    registry_.AddCoreStats(dataset, engine, stats, params);
+  }
+
+  const MetricRegistry& registry() const { return registry_; }
+
+  // Output file path: $LSG_BENCH_OUT/BENCH_<experiment>.json.
+  std::string OutputPath() const {
+    const char* dir = std::getenv("LSG_BENCH_OUT");
+    std::string path = (dir != nullptr && dir[0] != '\0') ? dir : ".";
+    if (path.back() != '/') {
+      path.push_back('/');
+    }
+    return path + "BENCH_" + registry_.experiment() + ".json";
+  }
+
+  // Serializes and writes the document; announces the path on stdout so a
+  // human run shows where the machine-readable copy went.
+  bool Write() {
+    written_ = true;
+    std::string path = OutputPath();
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "BenchReporter: cannot write %s\n", path.c_str());
+      return false;
+    }
+    out << JsonWrite(registry_.ToJson());
+    out.close();
+    std::printf("\n[telemetry] %zu rows -> %s\n", registry_.num_rows(),
+                path.c_str());
+    return static_cast<bool>(out);
+  }
+
+ private:
+  MetricRegistry registry_;
+  bool written_ = false;
+};
 
 }  // namespace bench
 }  // namespace lsg

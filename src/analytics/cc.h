@@ -30,7 +30,7 @@ std::vector<VertexId> ConnectedComponents(const G& g, ThreadPool& pool,
   AtomicBitset queued(n);
   VertexSubset frontier = VertexSubset::All(n);
   while (!frontier.empty()) {
-    queued.Clear();
+    queued.Clear(&pool);
     frontier = EdgeMap(
         g, frontier,
         [&label, &queued](VertexId u, VertexId v) {

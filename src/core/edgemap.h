@@ -226,7 +226,7 @@ class VertexSubset {
   void MaterializeDense(ThreadPool& pool) const {
     bits_ = AtomicBitset(universe_);
     if (rep_ == Rep::kAll) {
-      bits_.SetAll();
+      bits_.SetAll(&pool);
     } else {
       ForEach(pool, [this](VertexId v, size_t /*tid*/) { bits_.Set(v); });
     }

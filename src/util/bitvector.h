@@ -9,7 +9,10 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <vector>
+
+#include "src/parallel/thread_pool.h"
 
 namespace lsg {
 
@@ -40,11 +43,36 @@ class TypeVector {
     w = (w & ~(uint64_t{0x3} << shift)) | (uint64_t(t) << shift);
   }
 
-  // Sets [begin, end) to `t`.
+  // Sets [begin, end) to `t`, whole words at a time: partial head/tail words
+  // are masked, interior words are stored outright with the 2-bit lane
+  // pattern. HITree block (re)typing calls this on every split/merge/free,
+  // so the old slot-at-a-time loop was 32x more word traffic than needed.
   void SetRange(size_t begin, size_t end, SlotType t) {
-    for (size_t i = begin; i < end; ++i) {
-      Set(i, t);
+    if (begin >= end) {
+      return;
     }
+    // `t` replicated into all 32 2-bit lanes: 0x5555... is 01 in every lane.
+    const uint64_t lanes = uint64_t(t) * 0x5555555555555555ull;
+    const size_t first_word = begin / 32;
+    const size_t last_word = (end - 1) / 32;
+    // Mask covering slot offsets [lo, hi) of one word (hi <= 32).
+    auto lane_mask = [](size_t lo, size_t hi) {
+      uint64_t high = hi == 32 ? ~uint64_t{0} : (uint64_t{1} << (2 * hi)) - 1;
+      uint64_t low = (uint64_t{1} << (2 * lo)) - 1;
+      return high & ~low;
+    };
+    if (first_word == last_word) {
+      uint64_t m = lane_mask(begin % 32, (end - 1) % 32 + 1);
+      words_[first_word] = (words_[first_word] & ~m) | (lanes & m);
+      return;
+    }
+    uint64_t head = lane_mask(begin % 32, 32);
+    words_[first_word] = (words_[first_word] & ~head) | (lanes & head);
+    for (size_t w = first_word + 1; w < last_word; ++w) {
+      words_[w] = lanes;
+    }
+    uint64_t tail = lane_mask(0, (end - 1) % 32 + 1);
+    words_[last_word] = (words_[last_word] & ~tail) | (lanes & tail);
   }
 
   size_t MemoryBytes() const { return words_.capacity() * sizeof(uint64_t); }
@@ -55,6 +83,11 @@ class TypeVector {
 };
 
 // Fixed-size bitset with atomic test-and-set, for parallel traversals.
+//
+// Clear/SetAll rewrite the whole word array and are NOT atomic with respect
+// to concurrent Set/TestAndSet — callers already owned that exclusion (both
+// were plain store loops before), and every use site (frontier rebuild,
+// per-round visited reset) runs them between parallel phases.
 class AtomicBitset {
  public:
   AtomicBitset() = default;
@@ -64,11 +97,10 @@ class AtomicBitset {
 
   size_t size() const { return size_; }
 
-  void Clear() {
-    for (auto& w : words_) {
-      w.store(0, std::memory_order_relaxed);
-    }
-  }
+  // Zeroes every word. The serial path is one memset (~word-store loop over
+  // atomics defeats vectorization and ran serially every dense EdgeMap
+  // round); pass a pool to split the fill for multi-GB bitsets.
+  void Clear(ThreadPool* pool = nullptr) { FillBytes(0x00, pool); }
 
   bool Get(size_t i) const {
     return (words_[i / 64].load(std::memory_order_relaxed) >> (i % 64)) & 1;
@@ -93,19 +125,50 @@ class AtomicBitset {
 
   // Sets every bit in [0, size()); bits beyond size() in the last word stay
   // zero so word-level population counts remain exact.
-  void SetAll() {
+  void SetAll(ThreadPool* pool = nullptr) {
     if (words_.empty()) {
       return;
     }
-    for (size_t w = 0; w + 1 < words_.size(); ++w) {
-      words_[w].store(~uint64_t{0}, std::memory_order_relaxed);
-    }
+    FillBytes(0xFF, pool);
     size_t rem = size_ % 64;
-    uint64_t last = rem == 0 ? ~uint64_t{0} : (uint64_t{1} << rem) - 1;
-    words_.back().store(last, std::memory_order_relaxed);
+    if (rem != 0) {
+      words_.back().store((uint64_t{1} << rem) - 1,
+                          std::memory_order_relaxed);
+    }
   }
 
  private:
+  // memset justification: std::atomic<uint64_t> is lock-free and
+  // object-representation-identical to uint64_t here, so a byte fill is the
+  // same machine effect as a loop of relaxed stores, minus the per-word
+  // atomic-store codegen that blocks vectorization.
+  static_assert(std::atomic<uint64_t>::is_always_lock_free &&
+                    sizeof(std::atomic<uint64_t>) == sizeof(uint64_t),
+                "AtomicBitset fill assumes plain-word atomic layout");
+
+  void FillBytes(unsigned char byte, ThreadPool* pool) {
+    const size_t nwords = words_.size();
+    if (nwords == 0) {
+      return;
+    }
+    std::atomic<uint64_t>* data = words_.data();
+    auto fill = [data, byte](size_t lo, size_t hi) {
+      std::memset(static_cast<void*>(data + lo), byte,
+                  (hi - lo) * sizeof(uint64_t));
+    };
+    // Below ~8 MB a single memset saturates memory bandwidth anyway; only
+    // split when a pool is supplied and the array is large enough to matter.
+    constexpr size_t kParallelFillWords = (size_t{8} << 20) / sizeof(uint64_t);
+    if (pool != nullptr && pool->num_threads() > 1 &&
+        nwords >= kParallelFillWords) {
+      pool->ParallelForChunked(
+          0, nwords,
+          [&fill](size_t lo, size_t hi, size_t /*tid*/) { fill(lo, hi); });
+    } else {
+      fill(0, nwords);
+    }
+  }
+
   std::vector<std::atomic<uint64_t>> words_;
   size_t size_ = 0;
 };

@@ -1,0 +1,472 @@
+// Minimal JSON value type, writer, and recursive-descent parser.
+//
+// Backing for the benchmark telemetry layer (src/util/metrics.h,
+// tools/bench_compare): BENCH_<experiment>.json files are written and read
+// with this, so the emitter and the comparator cannot drift apart. The
+// subset implemented is exactly what JSON defines — objects, arrays,
+// strings, finite numbers, booleans, null — with two deliberate choices:
+// object keys keep insertion order (diffable output), and non-finite
+// numbers are rejected at write time (JSON has no NaN/Inf; telemetry rows
+// with unusable values are omitted upstream, see BenchReporter).
+#ifndef SRC_UTIL_JSON_H_
+#define SRC_UTIL_JSON_H_
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lsg {
+
+class JsonValue {
+ public:
+  enum class Type : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+  JsonValue(bool b) : type_(Type::kBool), bool_(b) {}
+  JsonValue(double d) : type_(Type::kNumber), number_(d) {}
+  JsonValue(int64_t i) : type_(Type::kNumber), number_(static_cast<double>(i)) {}
+  JsonValue(int i) : type_(Type::kNumber), number_(i) {}
+  JsonValue(uint64_t u) : type_(Type::kNumber), number_(static_cast<double>(u)) {}
+  JsonValue(const char* s) : type_(Type::kString), string_(s) {}
+  JsonValue(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+
+  static JsonValue Array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsDouble() const { return number_; }
+  int64_t AsInt() const { return static_cast<int64_t>(number_); }
+  const std::string& AsString() const { return string_; }
+
+  // Array access.
+  const std::vector<JsonValue>& items() const { return items_; }
+  void Append(JsonValue v) { items_.push_back(std::move(v)); }
+  size_t size() const {
+    return type_ == Type::kArray ? items_.size() : members_.size();
+  }
+
+  // Object access; keys keep insertion order.
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+  void Set(std::string key, JsonValue v) {
+    for (auto& [k, val] : members_) {
+      if (k == key) {
+        val = std::move(v);
+        return;
+      }
+    }
+    members_.emplace_back(std::move(key), std::move(v));
+  }
+  // Null if absent (distinguish with Has for genuinely-null members).
+  const JsonValue* Find(std::string_view key) const {
+    for (const auto& [k, v] : members_) {
+      if (k == key) {
+        return &v;
+      }
+    }
+    return nullptr;
+  }
+  bool Has(std::string_view key) const { return Find(key) != nullptr; }
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+namespace json_internal {
+
+inline void AppendEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+inline void AppendNumber(double d, std::string* out) {
+  // %.17g round-trips any finite double; integers print without exponent so
+  // counters stay human-readable. Non-finite values must be filtered by the
+  // caller (JSON has no encoding for them).
+  char buf[40];
+  if (d == static_cast<int64_t>(d) && std::fabs(d) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(static_cast<int64_t>(d)));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+  }
+  out->append(buf);
+}
+
+inline void WriteValue(const JsonValue& v, int indent, std::string* out) {
+  const std::string pad(indent * 2, ' ');
+  switch (v.type()) {
+    case JsonValue::Type::kNull:
+      out->append("null");
+      break;
+    case JsonValue::Type::kBool:
+      out->append(v.AsBool() ? "true" : "false");
+      break;
+    case JsonValue::Type::kNumber:
+      AppendNumber(v.AsDouble(), out);
+      break;
+    case JsonValue::Type::kString:
+      AppendEscaped(v.AsString(), out);
+      break;
+    case JsonValue::Type::kArray: {
+      if (v.items().empty()) {
+        out->append("[]");
+        break;
+      }
+      out->append("[\n");
+      for (size_t i = 0; i < v.items().size(); ++i) {
+        out->append(pad).append("  ");
+        WriteValue(v.items()[i], indent + 1, out);
+        out->append(i + 1 < v.items().size() ? ",\n" : "\n");
+      }
+      out->append(pad).push_back(']');
+      break;
+    }
+    case JsonValue::Type::kObject: {
+      if (v.members().empty()) {
+        out->append("{}");
+        break;
+      }
+      out->append("{\n");
+      for (size_t i = 0; i < v.members().size(); ++i) {
+        out->append(pad).append("  ");
+        AppendEscaped(v.members()[i].first, out);
+        out->append(": ");
+        WriteValue(v.members()[i].second, indent + 1, out);
+        out->append(i + 1 < v.members().size() ? ",\n" : "\n");
+      }
+      out->append(pad).push_back('}');
+      break;
+    }
+  }
+}
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool Parse(JsonValue* out) {
+    SkipSpace();
+    if (!ParseValue(out)) {
+      return false;
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after top-level value");
+    }
+    return true;
+  }
+
+ private:
+  bool Fail(const std::string& what) {
+    if (error_ != nullptr) {
+      *error_ = what + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view w) {
+    if (text_.substr(pos_, w.size()) == w) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject(out);
+    }
+    if (c == '[') {
+      return ParseArray(out);
+    }
+    if (c == '"') {
+      std::string s;
+      if (!ParseString(&s)) {
+        return false;
+      }
+      *out = JsonValue(std::move(s));
+      return true;
+    }
+    if (ConsumeWord("true")) {
+      *out = JsonValue(true);
+      return true;
+    }
+    if (ConsumeWord("false")) {
+      *out = JsonValue(false);
+      return true;
+    }
+    if (ConsumeWord("null")) {
+      *out = JsonValue();
+      return true;
+    }
+    return ParseNumber(out);
+  }
+
+  bool ParseObject(JsonValue* out) {
+    ++pos_;  // '{'
+    *out = JsonValue::Object();
+    SkipSpace();
+    if (Consume('}')) {
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key)) {
+        return false;
+      }
+      SkipSpace();
+      if (!Consume(':')) {
+        return Fail("expected ':' in object");
+      }
+      SkipSpace();
+      JsonValue v;
+      if (!ParseValue(&v)) {
+        return false;
+      }
+      out->Set(std::move(key), std::move(v));
+      SkipSpace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return true;
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    ++pos_;  // '['
+    *out = JsonValue::Array();
+    SkipSpace();
+    if (Consume(']')) {
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      JsonValue v;
+      if (!ParseValue(&v)) {
+        return false;
+      }
+      out->Append(std::move(v));
+      SkipSpace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return true;
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) {
+      return Fail("expected string");
+    }
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Fail("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("bad \\u escape");
+            }
+          }
+          // Telemetry strings are ASCII; encode BMP code points as UTF-8.
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("bad escape character");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Fail("expected value");
+    }
+    std::string num(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double d = std::strtod(num.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Fail("malformed number");
+    }
+    *out = JsonValue(d);
+    return true;
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+}  // namespace json_internal
+
+// Serializes with 2-space indentation and a trailing newline. Non-finite
+// numbers must not appear in `v` (callers filter; see BenchReporter::Add).
+inline std::string JsonWrite(const JsonValue& v) {
+  std::string out;
+  json_internal::WriteValue(v, 0, &out);
+  out.push_back('\n');
+  return out;
+}
+
+// Parses `text` into `*out`. Returns false and fills `*error` (if non-null)
+// with a message + offset on malformed input.
+inline bool JsonParse(std::string_view text, JsonValue* out,
+                      std::string* error = nullptr) {
+  return json_internal::Parser(text, error).Parse(out);
+}
+
+}  // namespace lsg
+
+#endif  // SRC_UTIL_JSON_H_

@@ -1,0 +1,285 @@
+// Benchmark telemetry registry (machine-readable counterpart of the bench
+// binaries' printf tables).
+//
+// Every measurement is one MetricRow in the uniform grid
+//   {experiment, dataset, engine, scale, threads, batch_size, metric,
+//    value, unit, params}
+// so throughput/latency/memory numbers from all experiments diff against a
+// committed baseline with one comparator (tools/bench_compare) instead of
+// fourteen table parsers. MetricRegistry accumulates rows and serializes a
+// BENCH_<experiment>.json document:
+//
+//   {
+//     "schema_version": 1,
+//     "experiment": "...",
+//     "meta": { "git_sha": ..., "scale": ..., "hw_threads": ...,
+//               "timestamp_utc": ..., "hostname": ...,
+//               "omitted_nonfinite": ... },
+//     "rows": [ { ...MetricRow... }, ... ]
+//   }
+//
+// Rows with non-finite values (a sub-resolution timer read, a division by a
+// zero denominator) are counted in meta.omitted_nonfinite and dropped rather
+// than written: JSON cannot carry NaN, and a silent 0.0 would read as a
+// catastrophic regression. ValidateBenchJson is the single schema authority,
+// shared by the emitter's tests, tools/bench_compare --check, and the
+// perfsmoke CTest harness.
+#ifndef SRC_UTIL_METRICS_H_
+#define SRC_UTIL_METRICS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "src/core/options.h"
+#include "src/util/json.h"
+
+namespace lsg {
+
+// One benchmark measurement. Empty strings / -1 mean "not applicable"
+// (e.g. a memory-footprint row has no batch size); both are serialized so
+// every row has an identical shape.
+struct MetricRow {
+  std::string dataset;     // e.g. "LJ"; "" if the metric is dataset-free
+  std::string engine;      // e.g. "LSGraph"; "" if system-independent
+  std::string metric;      // e.g. "insert_throughput"
+  double value = 0.0;
+  std::string unit;        // "edges/s", "s", "bytes", "count", "%", "x"
+  int64_t batch_size = -1; // -1 = n/a
+  int64_t threads = -1;    // -1 = n/a (fixed per-experiment pools)
+  std::string params;      // free-form "k=v k=v" extras (e.g. "alpha=1.2")
+};
+
+// Units whose rows tools/bench_compare gates on (vs. informational units
+// like "count", "%", "x" that contextualize but do not fail a comparison).
+inline bool IsGatedUnit(const std::string& unit) {
+  return unit == "s" || unit == "bytes" || unit.find("/s") != std::string::npos;
+}
+
+// Current commit, for telemetry metadata: LSG_GIT_SHA env override first
+// (lets CI pin the value), then `git rev-parse HEAD` relative to the
+// current working directory (the build tree lives inside the repo), else
+// "unknown". Never fails.
+inline std::string GitSha() {
+  if (const char* env = std::getenv("LSG_GIT_SHA")) {
+    return env;
+  }
+  std::string sha;
+#if defined(__unix__) || defined(__APPLE__)
+  if (FILE* p = popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char buf[128];
+    if (fgets(buf, sizeof(buf), p) != nullptr) {
+      sha = buf;
+      while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+        sha.pop_back();
+      }
+    }
+    pclose(p);
+  }
+#endif
+  return sha.empty() ? "unknown" : sha;
+}
+
+class MetricRegistry {
+ public:
+  // `scale` is the LSG_BENCH_SCALE tier the run used ("tiny"/"small"/"full").
+  MetricRegistry(std::string experiment, std::string scale)
+      : experiment_(std::move(experiment)), scale_(std::move(scale)) {}
+
+  const std::string& experiment() const { return experiment_; }
+  const std::string& scale() const { return scale_; }
+  size_t num_rows() const { return rows_.size(); }
+  size_t omitted_nonfinite() const { return omitted_nonfinite_; }
+  const std::vector<MetricRow>& rows() const { return rows_; }
+
+  // Appends a row; silently drops (and counts) non-finite values.
+  void Add(MetricRow row) {
+    if (!std::isfinite(row.value)) {
+      ++omitted_nonfinite_;
+      return;
+    }
+    rows_.push_back(std::move(row));
+  }
+
+  // Snapshots every CoreStats counter as one "count" row per field, so
+  // behavioral shifts (conversion storms, early-exit loss) are visible in
+  // the same diff as the throughput that they explain.
+  void AddCoreStats(const std::string& dataset, const std::string& engine,
+                    const CoreStats& stats, const std::string& params = "") {
+    struct Counter {
+      const char* name;
+      uint64_t value;
+    };
+    const Counter counters[] = {
+        {"ria_to_hitree_conversions", stats.ria_to_hitree_conversions.load()},
+        {"ria_expansions", stats.ria_expansions.load()},
+        {"lia_child_creations", stats.lia_child_creations.load()},
+        {"hitree_to_ria_conversions", stats.hitree_to_ria_conversions.load()},
+        {"ria_to_array_conversions", stats.ria_to_array_conversions.load()},
+        {"ria_contractions", stats.ria_contractions.load()},
+        {"pull_neighbors_decoded", stats.pull_neighbors_decoded.load()},
+        {"pull_degree_scanned", stats.pull_degree_scanned.load()},
+        {"pull_early_exits", stats.pull_early_exits.load()},
+        {"edgemap_pull_rounds", stats.edgemap_pull_rounds.load()},
+        {"edgemap_push_rounds", stats.edgemap_push_rounds.load()},
+    };
+    for (const Counter& c : counters) {
+      Add({.dataset = dataset,
+           .engine = engine,
+           .metric = std::string("corestats.") + c.name,
+           .value = static_cast<double>(c.value),
+           .unit = "count",
+           .params = params});
+    }
+  }
+
+  // The full document as a JSON tree (rows in insertion order).
+  JsonValue ToJson() const {
+    JsonValue doc = JsonValue::Object();
+    doc.Set("schema_version", JsonValue(int64_t{1}));
+    doc.Set("experiment", JsonValue(experiment_));
+
+    JsonValue meta = JsonValue::Object();
+    meta.Set("git_sha", JsonValue(GitSha()));
+    meta.Set("scale", JsonValue(scale_));
+    meta.Set("hw_threads",
+             JsonValue(static_cast<int64_t>(std::thread::hardware_concurrency())));
+    char ts[32] = "unknown";
+    std::time_t now = std::time(nullptr);
+    std::tm tm_utc;
+#if defined(_WIN32)
+    gmtime_s(&tm_utc, &now);
+#else
+    gmtime_r(&now, &tm_utc);
+#endif
+    std::strftime(ts, sizeof(ts), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+    meta.Set("timestamp_utc", JsonValue(std::string(ts)));
+    char host[256] = {0};
+#if defined(__unix__) || defined(__APPLE__)
+    if (gethostname(host, sizeof(host) - 1) != 0) {
+      host[0] = '\0';
+    }
+#endif
+    if (host[0] == '\0') {
+      std::snprintf(host, sizeof(host), "%s",
+                    std::getenv("HOSTNAME") != nullptr
+                        ? std::getenv("HOSTNAME")
+                        : "unknown");
+    }
+    meta.Set("hostname", JsonValue(std::string(host)));
+    meta.Set("omitted_nonfinite",
+             JsonValue(static_cast<int64_t>(omitted_nonfinite_)));
+    doc.Set("meta", std::move(meta));
+
+    JsonValue rows = JsonValue::Array();
+    for (const MetricRow& r : rows_) {
+      JsonValue row = JsonValue::Object();
+      row.Set("experiment", JsonValue(experiment_));
+      row.Set("dataset", JsonValue(r.dataset));
+      row.Set("engine", JsonValue(r.engine));
+      row.Set("scale", JsonValue(scale_));
+      row.Set("threads", JsonValue(r.threads));
+      row.Set("batch_size", JsonValue(r.batch_size));
+      row.Set("metric", JsonValue(r.metric));
+      row.Set("value", JsonValue(r.value));
+      row.Set("unit", JsonValue(r.unit));
+      row.Set("params", JsonValue(r.params));
+      rows.Append(std::move(row));
+    }
+    doc.Set("rows", std::move(rows));
+    return doc;
+  }
+
+ private:
+  std::string experiment_;
+  std::string scale_;
+  std::vector<MetricRow> rows_;
+  size_t omitted_nonfinite_ = 0;
+};
+
+// Schema check for a parsed BENCH_*.json document. Returns true iff the
+// document has the exact shape MetricRegistry::ToJson emits; on failure
+// fills `*error` (if non-null) with the first violation.
+inline bool ValidateBenchJson(const JsonValue& doc, std::string* error) {
+  auto fail = [error](const std::string& what) {
+    if (error != nullptr) {
+      *error = what;
+    }
+    return false;
+  };
+  if (!doc.is_object()) {
+    return fail("top level is not an object");
+  }
+  const JsonValue* ver = doc.Find("schema_version");
+  if (ver == nullptr || !ver->is_number() || ver->AsInt() != 1) {
+    return fail("schema_version missing or != 1");
+  }
+  const JsonValue* exp = doc.Find("experiment");
+  if (exp == nullptr || !exp->is_string() || exp->AsString().empty()) {
+    return fail("experiment missing or empty");
+  }
+  const JsonValue* meta = doc.Find("meta");
+  if (meta == nullptr || !meta->is_object()) {
+    return fail("meta missing");
+  }
+  for (const char* key : {"git_sha", "scale", "timestamp_utc", "hostname"}) {
+    const JsonValue* v = meta->Find(key);
+    if (v == nullptr || !v->is_string()) {
+      return fail(std::string("meta.") + key + " missing or not a string");
+    }
+  }
+  for (const char* key : {"hw_threads", "omitted_nonfinite"}) {
+    const JsonValue* v = meta->Find(key);
+    if (v == nullptr || !v->is_number()) {
+      return fail(std::string("meta.") + key + " missing or not a number");
+    }
+  }
+  const JsonValue* rows = doc.Find("rows");
+  if (rows == nullptr || !rows->is_array()) {
+    return fail("rows missing or not an array");
+  }
+  size_t i = 0;
+  for (const JsonValue& row : rows->items()) {
+    std::string at = "rows[" + std::to_string(i++) + "].";
+    if (!row.is_object()) {
+      return fail(at + " is not an object");
+    }
+    for (const char* key :
+         {"experiment", "dataset", "engine", "scale", "metric", "unit",
+          "params"}) {
+      const JsonValue* v = row.Find(key);
+      if (v == nullptr || !v->is_string()) {
+        return fail(at + key + " missing or not a string");
+      }
+    }
+    for (const char* key : {"threads", "batch_size", "value"}) {
+      const JsonValue* v = row.Find(key);
+      if (v == nullptr || !v->is_number()) {
+        return fail(at + key + " missing or not a number");
+      }
+    }
+    if (row.Find("metric")->AsString().empty()) {
+      return fail(at + "metric is empty");
+    }
+    if (!std::isfinite(row.Find("value")->AsDouble())) {
+      return fail(at + "value is not finite");
+    }
+    if (row.Find("experiment")->AsString() != exp->AsString()) {
+      return fail(at + "experiment disagrees with document experiment");
+    }
+  }
+  return true;
+}
+
+}  // namespace lsg
+
+#endif  // SRC_UTIL_METRICS_H_

@@ -27,6 +27,7 @@
 #include <cassert>
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <vector>
 
 #include "src/parallel/thread_pool.h"
@@ -39,17 +40,39 @@ inline uint64_t EdgeKey(const Edge& e) {
   return (uint64_t{e.src} << 32) | e.dst;
 }
 
+namespace sort_internal {
+
+// True iff a histogram counter of type CounterT can count `n` elements
+// without wrapping. Production histograms use size_t (a std::vector can
+// never exceed SIZE_MAX elements, so the guard is vacuously true there);
+// the template stays so tests can exercise the overflow condition with a
+// deliberately narrow counter at a synthetic small bound.
+template <typename CounterT>
+constexpr bool CountersCanHold(uint64_t n) {
+  return n <= std::numeric_limits<CounterT>::max();
+}
+
+}  // namespace sort_internal
+
 // LSD radix sort by (src, dst), 4 passes of 16 bits. Stable; sorts in place.
 // Serial reference path; also used below the parallel-cutover threshold.
+//
+// Histogram and prefix-sum counters are size_t: with the former uint32_t
+// counters, any batch of >= 2^32 edges silently wrapped the per-bucket
+// counts, corrupting the prefix sums (and therefore the scatter) with no
+// diagnostic. size_t counts anything a std::vector can hold.
 inline void RadixSortEdges(std::vector<Edge>& edges) {
   constexpr int kBits = 16;
   constexpr size_t kBuckets = size_t{1} << kBits;
+  static_assert(sort_internal::CountersCanHold<size_t>(
+                    std::numeric_limits<uint32_t>::max()),
+                "histogram counters must cover > 2^32-edge batches");
   if (edges.size() < 2048) {
     std::sort(edges.begin(), edges.end());
     return;
   }
   std::vector<Edge> tmp(edges.size());
-  std::vector<uint32_t> count(kBuckets);
+  std::vector<size_t> count(kBuckets);
   Edge* from = edges.data();
   Edge* to = tmp.data();
   for (int pass = 0; pass < 4; ++pass) {
@@ -58,9 +81,9 @@ inline void RadixSortEdges(std::vector<Edge>& edges) {
     for (size_t i = 0; i < edges.size(); ++i) {
       ++count[(EdgeKey(from[i]) >> shift) & (kBuckets - 1)];
     }
-    uint32_t sum = 0;
+    size_t sum = 0;
     for (size_t b = 0; b < kBuckets; ++b) {
-      uint32_t c = count[b];
+      size_t c = count[b];
       count[b] = sum;
       sum += c;
     }
@@ -261,7 +284,9 @@ inline void ParallelPrepare(std::vector<Edge>& edges, ThreadPool& pool,
   Edge* const sorted = (passes % 2 == 0) ? b_buf : a_buf;
   Edge* const out = (passes % 2 == 0) ? a_buf : b_buf;
 
-  std::vector<std::vector<uint32_t>> thread_counts(nthreads);
+  // size_t counters for the same reason as RadixSortEdges: one skewed MSD
+  // bucket can hold nearly the whole batch, so uint32_t would wrap at 2^32.
+  std::vector<std::vector<size_t>> thread_counts(nthreads);
   pool.ParallelForChunked(
       0, num_buckets,
       [&](size_t lo_idx, size_t hi_idx, size_t tid) {
@@ -279,7 +304,7 @@ inline void ParallelPrepare(std::vector<Edge>& edges, ThreadPool& pool,
             }
             continue;
           }
-          std::vector<uint32_t>& count = thread_counts[tid];
+          std::vector<size_t>& count = thread_counts[tid];
           count.resize(size_t{1} << 16);
           Edge* from = b_buf;
           Edge* to = a_buf;
@@ -289,9 +314,9 @@ inline void ParallelPrepare(std::vector<Edge>& edges, ThreadPool& pool,
             for (size_t i = lo; i < hi; ++i) {
               ++count[((EdgeKey(from[i]) - min_key) >> s) & 0xFFFF];
             }
-            uint32_t c_sum = 0;
+            size_t c_sum = 0;
             for (size_t c = 0; c < count.size(); ++c) {
-              uint32_t c_cur = count[c];
+              size_t c_cur = count[c];
               count[c] = c_sum;
               c_sum += c_cur;
             }

@@ -1,0 +1,193 @@
+// Telemetry layer tests: JSON writer/parser round-trips, the
+// BENCH_*.json schema authority (ValidateBenchJson), non-finite row
+// handling, and the BenchReporter file path end to end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "bench/common.h"
+#include "src/core/options.h"
+#include "src/util/json.h"
+#include "src/util/metrics.h"
+
+namespace lsg {
+namespace {
+
+TEST(JsonTest, WriteParseRoundTrip) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("name", JsonValue("bench \"quoted\"\n\ttabbed"));
+  doc.Set("count", JsonValue(int64_t{123456789}));
+  doc.Set("ratio", JsonValue(0.37519999999999998));
+  doc.Set("flag", JsonValue(true));
+  doc.Set("nothing", JsonValue());
+  JsonValue arr = JsonValue::Array();
+  arr.Append(JsonValue(int64_t{-7}));
+  arr.Append(JsonValue("x"));
+  JsonValue inner = JsonValue::Object();
+  inner.Set("k", JsonValue(1e-9));
+  arr.Append(std::move(inner));
+  doc.Set("items", std::move(arr));
+
+  std::string text = JsonWrite(doc);
+  JsonValue back;
+  std::string error;
+  ASSERT_TRUE(JsonParse(text, &back, &error)) << error;
+  // Writing the parse result again must reproduce the text exactly — keys
+  // keep insertion order, numbers round-trip via %.17g.
+  EXPECT_EQ(JsonWrite(back), text);
+  EXPECT_EQ(back.Find("name")->AsString(), "bench \"quoted\"\n\ttabbed");
+  EXPECT_EQ(back.Find("count")->AsInt(), 123456789);
+  EXPECT_DOUBLE_EQ(back.Find("ratio")->AsDouble(), 0.37519999999999998);
+  EXPECT_TRUE(back.Find("flag")->AsBool());
+  EXPECT_TRUE(back.Find("nothing")->is_null());
+  EXPECT_EQ(back.Find("items")->items().size(), 3u);
+  EXPECT_DOUBLE_EQ(
+      back.Find("items")->items()[2].Find("k")->AsDouble(), 1e-9);
+}
+
+TEST(JsonTest, ParserRejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\" 1}", "{\"a\":1} trailing", "\"unterminated",
+        "nul", "1.2.3", "{\"a\":}"}) {
+    JsonValue v;
+    std::string error;
+    EXPECT_FALSE(JsonParse(bad, &v, &error)) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(JsonTest, ParsesEscapesAndNestedStructures) {
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(JsonParse(R"({"s":"aA\n\\","a":[[],{}],"n":-1.5e3})", &v,
+                        &error))
+      << error;
+  EXPECT_EQ(v.Find("s")->AsString(), "aA\n\\");
+  EXPECT_EQ(v.Find("a")->items().size(), 2u);
+  EXPECT_DOUBLE_EQ(v.Find("n")->AsDouble(), -1500.0);
+}
+
+MetricRow Row(const char* metric, double value, const char* unit) {
+  return {.dataset = "LJ",
+          .engine = "LSGraph",
+          .metric = metric,
+          .value = value,
+          .unit = unit,
+          .batch_size = 1000,
+          .threads = 4,
+          .params = "alpha=1.2"};
+}
+
+TEST(MetricsTest, RegistryDropsNonFiniteRows) {
+  MetricRegistry reg("unit", "tiny");
+  reg.Add(Row("ok", 1.5, "s"));
+  reg.Add(Row("nan", std::numeric_limits<double>::quiet_NaN(), "s"));
+  reg.Add(Row("inf", std::numeric_limits<double>::infinity(), "edges/s"));
+  EXPECT_EQ(reg.num_rows(), 1u);
+  EXPECT_EQ(reg.omitted_nonfinite(), 2u);
+  JsonValue doc = reg.ToJson();
+  EXPECT_EQ(doc.Find("meta")->Find("omitted_nonfinite")->AsInt(), 2);
+  EXPECT_EQ(doc.Find("rows")->items().size(), 1u);
+}
+
+TEST(MetricsTest, ToJsonSatisfiesSchemaRoundTrip) {
+  MetricRegistry reg("unit", "tiny");
+  reg.Add(Row("insert_throughput", 1.25e6, "edges/s"));
+  reg.Add(Row("bfs_time", 0.125, "s"));
+  CoreStats stats;
+  stats.ria_expansions.fetch_add(3);
+  reg.AddCoreStats("LJ", "LSGraph", stats, "m=64");
+  EXPECT_EQ(reg.num_rows(), 2u + 11u);  // 11 CoreStats counters
+
+  std::string text = JsonWrite(reg.ToJson());
+  JsonValue back;
+  std::string error;
+  ASSERT_TRUE(JsonParse(text, &back, &error)) << error;
+  EXPECT_TRUE(ValidateBenchJson(back, &error)) << error;
+
+  const JsonValue& row0 = back.Find("rows")->items()[0];
+  EXPECT_EQ(row0.Find("experiment")->AsString(), "unit");
+  EXPECT_EQ(row0.Find("scale")->AsString(), "tiny");
+  EXPECT_EQ(row0.Find("dataset")->AsString(), "LJ");
+  EXPECT_EQ(row0.Find("metric")->AsString(), "insert_throughput");
+  EXPECT_DOUBLE_EQ(row0.Find("value")->AsDouble(), 1.25e6);
+  EXPECT_EQ(row0.Find("batch_size")->AsInt(), 1000);
+  EXPECT_EQ(row0.Find("threads")->AsInt(), 4);
+  // One "count" row per CoreStats field, prefixed for greppability.
+  const JsonValue& stat_row = back.Find("rows")->items()[3];
+  EXPECT_EQ(stat_row.Find("metric")->AsString(),
+            "corestats.ria_expansions");
+  EXPECT_DOUBLE_EQ(stat_row.Find("value")->AsDouble(), 3.0);
+  EXPECT_EQ(stat_row.Find("params")->AsString(), "m=64");
+}
+
+TEST(MetricsTest, ValidateRejectsCorruptDocuments) {
+  MetricRegistry reg("unit", "tiny");
+  reg.Add(Row("t", 1.0, "s"));
+  std::string error;
+
+  JsonValue doc = reg.ToJson();
+  doc.Set("schema_version", JsonValue(int64_t{2}));
+  EXPECT_FALSE(ValidateBenchJson(doc, &error));
+
+  doc = reg.ToJson();
+  doc.Set("rows", JsonValue("not an array"));
+  EXPECT_FALSE(ValidateBenchJson(doc, &error));
+
+  doc = reg.ToJson();
+  doc.Set("experiment", JsonValue("renamed"));  // rows still say "unit"
+  EXPECT_FALSE(ValidateBenchJson(doc, &error));
+
+  EXPECT_FALSE(ValidateBenchJson(JsonValue(1.0), &error));
+  EXPECT_FALSE(ValidateBenchJson(JsonValue::Object(), &error));
+}
+
+TEST(MetricsTest, GatedUnitPolicy) {
+  EXPECT_TRUE(IsGatedUnit("s"));
+  EXPECT_TRUE(IsGatedUnit("bytes"));
+  EXPECT_TRUE(IsGatedUnit("edges/s"));
+  EXPECT_TRUE(IsGatedUnit("items/s"));
+  EXPECT_FALSE(IsGatedUnit("count"));
+  EXPECT_FALSE(IsGatedUnit("%"));
+  EXPECT_FALSE(IsGatedUnit("x"));
+}
+
+TEST(BenchTest, ThroughputIsNaNForNonPositiveTime) {
+  EXPECT_DOUBLE_EQ(bench::Throughput(100, 2.0), 50.0);
+  EXPECT_TRUE(std::isnan(bench::Throughput(100, 0.0)));
+  EXPECT_TRUE(std::isnan(bench::Throughput(100, -1.0)));
+  EXPECT_TRUE(std::isnan(bench::Throughput(0, 0.0)));
+}
+
+TEST(BenchTest, ReporterWritesSchemaValidFile) {
+  std::string dir = ::testing::TempDir();
+  ASSERT_EQ(setenv("LSG_BENCH_OUT", dir.c_str(), 1), 0);
+  std::string path;
+  {
+    bench::BenchReporter reporter("metrics_selftest");
+    reporter.Add(Row("t", 0.5, "s"));
+    path = reporter.OutputPath();
+    EXPECT_TRUE(reporter.Write());
+  }
+  unsetenv("LSG_BENCH_OUT");
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(JsonParse(ss.str(), &doc, &error)) << error;
+  EXPECT_TRUE(ValidateBenchJson(doc, &error)) << error;
+  EXPECT_EQ(doc.Find("experiment")->AsString(), "metrics_selftest");
+  EXPECT_EQ(doc.Find("rows")->items().size(), 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lsg

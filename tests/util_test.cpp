@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/parallel/thread_pool.h"
 #include "src/util/bitvector.h"
 #include "src/util/cache.h"
 #include "src/util/graph_types.h"
@@ -130,6 +131,106 @@ TEST(AtomicBitsetTest, ClearResetsAllBits) {
   bs.Clear();
   EXPECT_FALSE(bs.Get(0));
   EXPECT_FALSE(bs.Get(69));
+}
+
+// SetRange's word-masked fast path against the slot-at-a-time reference, at
+// every boundary that matters: empty/one-slot vectors, the 32-slot word
+// boundary (2-bit lanes), and the 64-slot double-word boundary.
+TEST(TypeVectorTest, SetRangeMatchesSlotLoopAtBoundaries) {
+  for (size_t n : {size_t{0}, size_t{1}, size_t{31}, size_t{32}, size_t{33},
+                   size_t{63}, size_t{64}, size_t{65}, size_t{100}}) {
+    size_t step = n > 40 ? 7 : 1;
+    for (size_t begin = 0; begin <= n; begin += step) {
+      for (size_t end = begin; end <= n; end += step) {
+        TypeVector fast(n);
+        TypeVector ref(n);
+        for (size_t i = 0; i < n; ++i) {
+          SlotType t = static_cast<SlotType>(i % 4);
+          fast.Set(i, t);
+          ref.Set(i, t);
+        }
+        fast.SetRange(begin, end, SlotType::kChild);
+        for (size_t i = begin; i < end; ++i) {
+          ref.Set(i, SlotType::kChild);
+        }
+        for (size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(fast.Get(i), ref.Get(i))
+              << "n=" << n << " range=[" << begin << "," << end
+              << ") slot=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(TypeVectorTest, SetRangeFullAndEmptyRanges) {
+  TypeVector tv(65);
+  tv.SetRange(0, 65, SlotType::kBlock);
+  for (size_t i = 0; i < 65; ++i) {
+    ASSERT_EQ(tv.Get(i), SlotType::kBlock);
+  }
+  tv.SetRange(10, 10, SlotType::kEdge);  // empty: no-op
+  tv.SetRange(65, 65, SlotType::kEdge);  // empty at the end: no-op
+  for (size_t i = 0; i < 65; ++i) {
+    ASSERT_EQ(tv.Get(i), SlotType::kBlock);
+  }
+}
+
+// Clear/SetAll at word-boundary sizes, serial and with a pool. SetAll must
+// leave bits beyond size() zero so word-level popcounts stay exact.
+TEST(AtomicBitsetTest, ClearSetAllBoundarySizes) {
+  ThreadPool pool(2);
+  for (size_t n : {size_t{0}, size_t{1}, size_t{63}, size_t{64}, size_t{65},
+                   size_t{100}, size_t{128}, size_t{129}, size_t{1000}}) {
+    for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool}) {
+      AtomicBitset bs(n);
+      bs.SetAll(p);
+      size_t pop = 0;
+      for (size_t w = 0; w < bs.num_words(); ++w) {
+        pop += static_cast<size_t>(__builtin_popcountll(bs.Word(w)));
+      }
+      EXPECT_EQ(pop, n) << "n=" << n << " tail bits leaked past size()";
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_TRUE(bs.Get(i)) << "n=" << n << " bit=" << i;
+      }
+      bs.Clear(p);
+      for (size_t w = 0; w < bs.num_words(); ++w) {
+        ASSERT_EQ(bs.Word(w), 0u) << "n=" << n << " word=" << w;
+      }
+    }
+  }
+}
+
+// Large enough to cross FillBytes's parallel-split threshold (8 MB of
+// words), so the pool path itself gets exercised, not just its API.
+TEST(AtomicBitsetTest, ClearSetAllLargeParallelFill) {
+  ThreadPool pool(2);
+  const size_t n = (size_t{64} << 20) + 37;  // 8 MB of words + partial tail
+  AtomicBitset bs(n);
+  bs.SetAll(&pool);
+  size_t pop = 0;
+  for (size_t w = 0; w < bs.num_words(); ++w) {
+    pop += static_cast<size_t>(__builtin_popcountll(bs.Word(w)));
+  }
+  EXPECT_EQ(pop, n);
+  bs.Clear(&pool);
+  for (size_t w = 0; w < bs.num_words(); ++w) {
+    ASSERT_EQ(bs.Word(w), 0u);
+  }
+}
+
+// Guards the histogram counter width in RadixSortEdges: a uint32_t counter
+// silently wraps at 2^32 edges, corrupting every prefix sum after it. The
+// sort now uses size_t; this pins the bound-checking predicate at synthetic
+// small widths so the overflow condition itself is exercised.
+TEST(SortTest, CounterWidthGuards) {
+  EXPECT_TRUE(sort_internal::CountersCanHold<uint8_t>(255));
+  EXPECT_FALSE(sort_internal::CountersCanHold<uint8_t>(256));
+  EXPECT_TRUE(sort_internal::CountersCanHold<uint16_t>(65535));
+  EXPECT_FALSE(sort_internal::CountersCanHold<uint16_t>(65536));
+  EXPECT_TRUE(sort_internal::CountersCanHold<uint32_t>((uint64_t{1} << 32) - 1));
+  EXPECT_FALSE(sort_internal::CountersCanHold<uint32_t>(uint64_t{1} << 32));
+  EXPECT_TRUE(sort_internal::CountersCanHold<size_t>(uint64_t{1} << 32));
 }
 
 TEST(SortTest, RadixMatchesStdSortSmall) {

@@ -1,0 +1,87 @@
+# Regression-gating acceptance test for bench_compare: an injected 20%
+# throughput drop (and a 30% time growth) must fail a 10%-threshold compare
+# with exit code 1, a self-compare must pass at any threshold, and a 30%
+# threshold must absorb the same delta.
+#
+# Invoked by CTest as
+#   cmake -DCOMPARE_BIN=... -DWORK_DIR=... -P TestBenchCompareGate.cmake
+foreach(var COMPARE_BIN WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "TestBenchCompareGate.cmake: ${var} not set")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}/base" "${WORK_DIR}/new")
+
+set(meta [[
+  "meta": {
+    "git_sha": "test",
+    "scale": "tiny",
+    "hw_threads": 1,
+    "timestamp_utc": "2026-01-01T00:00:00Z",
+    "hostname": "test",
+    "omitted_nonfinite": 0
+  },
+]])
+
+# value fields: insert_throughput (higher better), bfs_time (lower better),
+# and one informational count row that must never gate.
+function(write_doc path tput bfs conversions)
+  file(WRITE "${path}" "{
+  \"schema_version\": 1,
+  \"experiment\": \"gate\",
+${meta}
+  \"rows\": [
+    {
+      \"experiment\": \"gate\", \"dataset\": \"LJ\", \"engine\": \"LSGraph\",
+      \"scale\": \"tiny\", \"threads\": -1, \"batch_size\": 1000,
+      \"metric\": \"insert_throughput\", \"value\": ${tput},
+      \"unit\": \"edges/s\", \"params\": \"\"
+    },
+    {
+      \"experiment\": \"gate\", \"dataset\": \"LJ\", \"engine\": \"LSGraph\",
+      \"scale\": \"tiny\", \"threads\": -1, \"batch_size\": -1,
+      \"metric\": \"bfs_time\", \"value\": ${bfs},
+      \"unit\": \"s\", \"params\": \"\"
+    },
+    {
+      \"experiment\": \"gate\", \"dataset\": \"LJ\", \"engine\": \"LSGraph\",
+      \"scale\": \"tiny\", \"threads\": -1, \"batch_size\": -1,
+      \"metric\": \"corestats.ria_expansions\", \"value\": ${conversions},
+      \"unit\": \"count\", \"params\": \"\"
+    }
+  ]
+}
+")
+endfunction()
+
+write_doc("${WORK_DIR}/base/BENCH_gate.json" 1000000 1.0 10)
+# 20% slower throughput, 30% slower BFS, wildly different (ungated) counter.
+write_doc("${WORK_DIR}/new/BENCH_gate.json" 800000 1.3 9999)
+
+function(run_compare expected_rc)
+  execute_process(COMMAND "${COMPARE_BIN}" ${ARGN} RESULT_VARIABLE rc)
+  if(NOT rc EQUAL ${expected_rc})
+    message(FATAL_ERROR
+            "bench_compare ${ARGN}: expected exit ${expected_rc}, got ${rc}")
+  endif()
+endfunction()
+
+run_compare(0 --check "${WORK_DIR}/base/BENCH_gate.json")
+run_compare(0 --check "${WORK_DIR}/new")
+# Injected regression beyond the 10% threshold must gate (exit 1) — both
+# file-vs-file and directory-vs-directory forms.
+run_compare(1 --threshold=0.1
+            "${WORK_DIR}/base/BENCH_gate.json"
+            "${WORK_DIR}/new/BENCH_gate.json")
+run_compare(1 --threshold=0.1 "${WORK_DIR}/base" "${WORK_DIR}/new")
+# A 35% allowance absorbs the same delta; counters never gate.
+run_compare(0 --threshold=0.35 "${WORK_DIR}/base" "${WORK_DIR}/new")
+# Self-compare is clean at the tightest threshold.
+run_compare(0 --threshold=0.001 "${WORK_DIR}/base" "${WORK_DIR}/base")
+# Smoke mode never gates even on the regressed pair.
+run_compare(0 --smoke "${WORK_DIR}/base" "${WORK_DIR}/new")
+# Malformed input is a usage/schema error (exit 2), not a pass.
+file(WRITE "${WORK_DIR}/bad.json" "{ not json")
+run_compare(2 --check "${WORK_DIR}/bad.json")

@@ -1,0 +1,297 @@
+// Compares BENCH_<experiment>.json telemetry files (src/util/metrics.h)
+// against a committed baseline and fails on regressions.
+//
+//   bench_compare --check FILE...            schema validation only
+//   bench_compare --smoke BASELINE NEW       schema + row matching, no gating
+//   bench_compare [options] BASELINE NEW     gated compare
+//
+// BASELINE and NEW are files, or directories holding BENCH_*.json (paired by
+// filename). Options:
+//   --threshold=F    relative noise allowance for gated rows (default 0.25;
+//                    benchmarks on shared machines are noisy — tighten in
+//                    controlled environments)
+//   --time-floor=S   skip gating "s" rows when both sides are below this
+//                    (default 0.05s: sub-resolution timings are all noise)
+//
+// Gating policy (IsGatedUnit): units "s", "bytes", and anything containing
+// "/s" gate; "count" / "%" / "x" rows are informational context only.
+// Direction comes from the unit — throughput ("/s") regresses downward,
+// time/space regress upward. Exit codes: 0 ok, 1 regression, 2 usage or
+// schema error.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/util/json.h"
+#include "src/util/metrics.h"
+
+namespace lsg {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Options {
+  double threshold = 0.25;
+  double time_floor = 0.05;
+  bool check_only = false;
+  bool smoke = false;
+  std::vector<std::string> paths;
+};
+
+struct FlatRow {
+  double value = 0.0;
+  std::string unit;
+};
+
+bool ReadFileToString(const std::string& path, std::string* out,
+                      std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+// Parses + schema-validates one telemetry file. Returns false with a
+// diagnostic on stderr; the caller maps that to exit code 2.
+bool LoadDoc(const std::string& path, JsonValue* doc) {
+  std::string text;
+  std::string error;
+  if (!ReadFileToString(path, &text, &error)) {
+    std::fprintf(stderr, "bench_compare: %s\n", error.c_str());
+    return false;
+  }
+  if (!JsonParse(text, doc, &error)) {
+    std::fprintf(stderr, "bench_compare: %s: parse error: %s\n", path.c_str(),
+                 error.c_str());
+    return false;
+  }
+  if (!ValidateBenchJson(*doc, &error)) {
+    std::fprintf(stderr, "bench_compare: %s: schema violation: %s\n",
+                 path.c_str(), error.c_str());
+    return false;
+  }
+  return true;
+}
+
+// Identity of a row across runs: everything except the measured value. Two
+// runs of the same binary at the same scale produce the same key set (minus
+// rows omitted as non-finite).
+std::string RowKey(const JsonValue& row) {
+  std::string key;
+  for (const char* field :
+       {"dataset", "engine", "metric", "unit", "params"}) {
+    key += row.Find(field)->AsString();
+    key += '|';
+  }
+  key += std::to_string(row.Find("threads")->AsInt());
+  key += '|';
+  key += std::to_string(row.Find("batch_size")->AsInt());
+  return key;
+}
+
+std::map<std::string, FlatRow> Flatten(const JsonValue& doc) {
+  std::map<std::string, FlatRow> out;
+  for (const JsonValue& row : doc.Find("rows")->items()) {
+    out[RowKey(row)] = {row.Find("value")->AsDouble(),
+                        row.Find("unit")->AsString()};
+  }
+  return out;
+}
+
+// Compares one baseline/new document pair. Returns the number of gated
+// regressions (always 0 in smoke mode).
+int CompareDocs(const JsonValue& base, const JsonValue& next,
+                const Options& opt) {
+  std::map<std::string, FlatRow> base_rows = Flatten(base);
+  std::map<std::string, FlatRow> next_rows = Flatten(next);
+  const std::string& experiment = base.Find("experiment")->AsString();
+
+  int regressions = 0;
+  int improvements = 0;
+  int gated = 0;
+  int missing = 0;
+  for (const auto& [key, b] : base_rows) {
+    auto it = next_rows.find(key);
+    if (it == next_rows.end()) {
+      // Legitimately absent when this run's value was non-finite (tiny-scale
+      // timers routinely read 0s) — warn, never fail.
+      std::printf("  [missing] %s\n", key.c_str());
+      ++missing;
+      continue;
+    }
+    if (opt.smoke || !IsGatedUnit(b.unit)) {
+      continue;
+    }
+    double old_v = b.value;
+    double new_v = it->second.value;
+    if (b.unit == "s" && old_v < opt.time_floor && new_v < opt.time_floor) {
+      continue;  // both below timer resolution / noise floor
+    }
+    if (old_v == 0.0) {
+      continue;  // no meaningful ratio
+    }
+    ++gated;
+    bool higher_better = b.unit.find("/s") != std::string::npos;
+    double rel = new_v / old_v - 1.0;  // signed change, + means grew
+    bool regressed = higher_better ? rel < -opt.threshold
+                                   : rel > opt.threshold;
+    bool improved = higher_better ? rel > opt.threshold
+                                  : rel < -opt.threshold;
+    if (regressed) {
+      std::printf("  [REGRESSION] %s: %.6g -> %.6g %s (%+.1f%%)\n",
+                  key.c_str(), old_v, new_v, b.unit.c_str(), 100.0 * rel);
+      ++regressions;
+    } else if (improved) {
+      std::printf("  [improved]   %s: %.6g -> %.6g %s (%+.1f%%)\n",
+                  key.c_str(), old_v, new_v, b.unit.c_str(), 100.0 * rel);
+      ++improvements;
+    }
+  }
+  int added = 0;
+  for (const auto& [key, n] : next_rows) {
+    if (base_rows.find(key) == base_rows.end()) {
+      std::printf("  [new row]  %s\n", key.c_str());
+      ++added;
+    }
+  }
+  std::printf(
+      "%s: %zu baseline rows, %d gated, %d regressed, %d improved, "
+      "%d missing, %d new\n",
+      experiment.c_str(), base_rows.size(), gated, regressions, improvements,
+      missing, added);
+  return regressions;
+}
+
+// Expands a path argument to the telemetry files under it.
+std::vector<fs::path> ExpandPath(const fs::path& p) {
+  std::vector<fs::path> out;
+  if (fs::is_directory(p)) {
+    for (const fs::directory_entry& e : fs::directory_iterator(p)) {
+      std::string name = e.path().filename().string();
+      if (e.is_regular_file() && name.rfind("BENCH_", 0) == 0 &&
+          name.size() > 5 && name.substr(name.size() - 5) == ".json") {
+        out.push_back(e.path());
+      }
+    }
+    std::sort(out.begin(), out.end());
+  } else {
+    out.push_back(p);
+  }
+  return out;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bench_compare --check FILE...\n"
+               "       bench_compare [--smoke] [--threshold=F] "
+               "[--time-floor=S] BASELINE NEW\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--check") {
+      opt.check_only = true;
+    } else if (arg == "--smoke") {
+      opt.smoke = true;
+    } else if (arg.rfind("--threshold=", 0) == 0) {
+      opt.threshold = std::atof(arg.c_str() + std::strlen("--threshold="));
+    } else if (arg.rfind("--time-floor=", 0) == 0) {
+      opt.time_floor = std::atof(arg.c_str() + std::strlen("--time-floor="));
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "bench_compare: unknown option %s\n", arg.c_str());
+      return Usage();
+    } else {
+      opt.paths.push_back(arg);
+    }
+  }
+
+  if (opt.check_only) {
+    if (opt.paths.empty()) {
+      return Usage();
+    }
+    for (const std::string& p : opt.paths) {
+      for (const fs::path& file : ExpandPath(p)) {
+        JsonValue doc;
+        if (!LoadDoc(file.string(), &doc)) {
+          return 2;
+        }
+        std::printf("%s: ok (%zu rows)\n", file.string().c_str(),
+                    doc.Find("rows")->items().size());
+      }
+    }
+    return 0;
+  }
+
+  if (opt.paths.size() != 2) {
+    return Usage();
+  }
+  std::vector<fs::path> base_files = ExpandPath(opt.paths[0]);
+  std::vector<fs::path> next_files = ExpandPath(opt.paths[1]);
+  if (base_files.empty()) {
+    std::fprintf(stderr, "bench_compare: no telemetry files under %s\n",
+                 opt.paths[0].c_str());
+    return 2;
+  }
+
+  int total_regressions = 0;
+  for (const fs::path& base_path : base_files) {
+    fs::path next_path;
+    if (base_files.size() == 1 && next_files.size() == 1) {
+      next_path = next_files[0];
+    } else {
+      for (const fs::path& cand : next_files) {
+        if (cand.filename() == base_path.filename()) {
+          next_path = cand;
+        }
+      }
+      if (next_path.empty()) {
+        std::fprintf(stderr, "bench_compare: no counterpart for %s\n",
+                     base_path.string().c_str());
+        return 2;
+      }
+    }
+    JsonValue base;
+    JsonValue next;
+    if (!LoadDoc(base_path.string(), &base) ||
+        !LoadDoc(next_path.string(), &next)) {
+      return 2;
+    }
+    if (base.Find("experiment")->AsString() !=
+        next.Find("experiment")->AsString()) {
+      std::fprintf(stderr,
+                   "bench_compare: experiment mismatch: %s vs %s\n",
+                   base.Find("experiment")->AsString().c_str(),
+                   next.Find("experiment")->AsString().c_str());
+      return 2;
+    }
+    total_regressions += CompareDocs(base, next, opt);
+  }
+  if (total_regressions > 0) {
+    std::printf("FAIL: %d regression(s) beyond %.0f%% threshold\n",
+                total_regressions, 100.0 * opt.threshold);
+    return 1;
+  }
+  std::printf(opt.smoke ? "smoke ok\n" : "ok\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace lsg
+
+int main(int argc, char** argv) { return lsg::Main(argc, argv); }
