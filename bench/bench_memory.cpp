@@ -4,9 +4,18 @@
 //
 // Expected shape: Terrace ~2-3x LSGraph (PMA density 0.125-0.25 vs α=1.2);
 // Aspen/PaC-tree below LSGraph (compressed chunks); I/L a few percent.
+//
+// Second table: the compressed-leaf study. One dense rMat per scale is
+// built twice — raw leaves vs compress_leaves — and we report resident
+// adjacency tail bytes, bytes/tail-edge, the compression ratio, and BFS /
+// PageRank wall time in both modes (the decode-while-scan overhead). The
+// bytes basis is adjacency tails only: inline VertexBlock ids are identical
+// in both modes and would dilute the ratio with a constant.
 #include <cstdio>
 
 #include "bench/common.h"
+#include "src/analytics/bfs.h"
+#include "src/analytics/pagerank.h"
 
 namespace lsg {
 namespace bench {
@@ -71,6 +80,87 @@ void RunDataset(const DatasetSpec& spec, ThreadPool& pool,
                 .unit = "count"});
 }
 
+// Dense rMat proxy for the compressed-leaf study. Degree is high on
+// purpose: compression pays off where adjacency tails are substantial
+// (per-tail object overhead is fixed, and smaller deltas shrink varints).
+DatasetSpec CompressedSpec() {
+  switch (BenchScale()) {
+    case Scale::kTiny:
+      return {"RMC", 12, 64.0, 7};
+    case Scale::kSmall:
+      return {"RMC", 16, 64.0, 7};
+    case Scale::kFull:
+      return {"RMC", 20, 96.0, 7};
+  }
+  return {};
+}
+
+void RunCompressedStudy(ThreadPool& pool, BenchReporter& reporter) {
+  DatasetSpec spec = CompressedSpec();
+  struct ModeResult {
+    size_t adjacency_bytes = 0;
+    EdgeCount tail_edges = 0;
+    double bfs_seconds = 0.0;
+    double pagerank_seconds = 0.0;
+  };
+  CoreStats stats;
+  auto run = [&](bool compressed) {
+    Options options;
+    options.compress_leaves = compressed;
+    if (compressed) {
+      options.stats = &stats;
+    }
+    auto g = MakeLsGraph(spec, &pool, options);
+    ModeResult r;
+    r.adjacency_bytes = g->adjacency_bytes();
+    r.tail_edges = g->tail_edges();
+    Timer timer;
+    Bfs(*g, 0, pool);
+    r.bfs_seconds = timer.Seconds();
+    timer.Reset();
+    PageRank(*g, pool);
+    r.pagerank_seconds = timer.Seconds();
+    return r;
+  };
+  ModeResult raw = run(false);
+  ModeResult comp = run(true);
+  double te = static_cast<double>(raw.tail_edges);
+  double ratio = comp.adjacency_bytes > 0
+                     ? static_cast<double>(raw.adjacency_bytes) /
+                           static_cast<double>(comp.adjacency_bytes)
+                     : 0.0;
+  std::printf(
+      "%-4s 2^%d tail_edges=%-10llu raw %6.2f B/e  compressed %6.2f B/e  "
+      "ratio %.2fx | BFS %.3fs -> %.3fs  PR %.3fs -> %.3fs\n",
+      spec.name.c_str(), spec.scale,
+      static_cast<unsigned long long>(raw.tail_edges),
+      raw.adjacency_bytes / te, comp.adjacency_bytes / te, ratio,
+      raw.bfs_seconds, comp.bfs_seconds, raw.pagerank_seconds,
+      comp.pagerank_seconds);
+  auto add = [&](const char* engine, const char* metric, double value,
+                 const char* unit) {
+    reporter.Add({.dataset = spec.name,
+                  .engine = engine,
+                  .metric = metric,
+                  .value = value,
+                  .unit = unit});
+  };
+  add("LSGraph", "adjacency_bytes", static_cast<double>(raw.adjacency_bytes),
+      "bytes");
+  add("LSGraph-compressed", "adjacency_bytes",
+      static_cast<double>(comp.adjacency_bytes), "bytes");
+  add("LSGraph", "adjacency_bytes_per_edge", raw.adjacency_bytes / te,
+      "bytes/edge");
+  add("LSGraph-compressed", "adjacency_bytes_per_edge",
+      comp.adjacency_bytes / te, "bytes/edge");
+  add("LSGraph-compressed", "compression_ratio", ratio, "x");
+  add("LSGraph", "bfs_seconds", raw.bfs_seconds, "s");
+  add("LSGraph-compressed", "bfs_seconds", comp.bfs_seconds, "s");
+  add("LSGraph", "pagerank_seconds", raw.pagerank_seconds, "s");
+  add("LSGraph-compressed", "pagerank_seconds", comp.pagerank_seconds, "s");
+  reporter.AddCoreStats(spec.name, "LSGraph-compressed", stats);
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace lsg
@@ -84,5 +174,7 @@ int main() {
   for (const DatasetSpec& spec : BenchDatasets()) {
     RunDataset(spec, pool, reporter);
   }
+  std::printf("\ncompressed-leaf study (adjacency tails, raw vs CRIA):\n");
+  RunCompressedStudy(pool, reporter);
   return reporter.Write() ? 0 : 1;
 }

@@ -404,6 +404,21 @@ void HiNode::BulkLoad(std::span<const VertexId> sorted_ids, bool force_flat) {
   array_.clear();
   ria_.reset();
   lia_.reset();
+  cria_.reset();
+  if (options_.compress_leaves) {
+    // Compressed mode collapses the array/RIA rungs into one: a CRIA's
+    // anchor index already is the RIA block index, and below A its single
+    // block degenerates to the plain-array case.
+    if (sorted_ids.size() <= options_.m_threshold || force_flat) {
+      kind_ = Kind::kCria;
+      cria_ = std::make_unique<Cria>(options_);
+      cria_->BulkLoad(sorted_ids);
+    } else {
+      kind_ = Kind::kLia;
+      lia_ = std::make_unique<Lia>(options_, sorted_ids);
+    }
+    return;
+  }
   if (sorted_ids.size() <= options_.a_threshold) {
     kind_ = Kind::kArray;
     array_.assign(sorted_ids.begin(), sorted_ids.end());
@@ -425,6 +440,8 @@ size_t HiNode::size() const {
       return ria_->size();
     case Kind::kLia:
       return lia_->size();
+    case Kind::kCria:
+      return cria_->size();
   }
   return 0;
 }
@@ -437,6 +454,8 @@ VertexId HiNode::First() const {
       return ria_->First();
     case Kind::kLia:
       return lia_->First();
+    case Kind::kCria:
+      return cria_->First();
   }
   return kInvalidVertex;
 }
@@ -486,6 +505,32 @@ bool HiNode::Insert(VertexId id) {
     }
     case Kind::kLia:
       return lia_->Insert(id);
+    case Kind::kCria: {
+      switch (cria_->TryInsert(id)) {
+        case Cria::InsertResult::kInserted:
+          return true;
+        case Cria::InsertResult::kDuplicate:
+          return false;
+        case Cria::InsertResult::kNeedExpand: {
+          // Same ladder as the RIA rung: rebuild with byte slack, and a
+          // tail past M becomes a HITree (whose leaves stay compressed).
+          std::vector<VertexId> ids = cria_->Decode();
+          ids.insert(std::lower_bound(ids.begin(), ids.end(), id), id);
+          if (options_.stats != nullptr) {
+            if (ids.size() > options_.m_threshold) {
+              options_.stats->ria_to_hitree_conversions.fetch_add(
+                  1, std::memory_order_relaxed);
+            } else {
+              options_.stats->ria_expansions.fetch_add(
+                  1, std::memory_order_relaxed);
+            }
+          }
+          BulkLoad(ids);
+          return true;
+        }
+      }
+      return false;
+    }
   }
   return false;
 }
@@ -512,6 +557,10 @@ bool HiNode::Delete(VertexId id) {
       }
       MaybeDowngrade();
       return true;
+    case Kind::kCria:
+      // CRIA is already the smallest compressed rung; its own MaybeContract
+      // handles under-occupancy, so there is nothing to downgrade to.
+      return cria_->Delete(id);
   }
   return false;
 }
@@ -545,6 +594,8 @@ bool HiNode::Contains(VertexId id) const {
       return ria_->Contains(id);
     case Kind::kLia:
       return lia_->Contains(id);
+    case Kind::kCria:
+      return cria_->Contains(id);
   }
   return false;
 }
@@ -557,6 +608,9 @@ size_t HiNode::memory_footprint() const {
   if (lia_ != nullptr) {
     total += lia_->memory_footprint();
   }
+  if (cria_ != nullptr) {
+    total += cria_->memory_footprint();
+  }
   return total;
 }
 
@@ -568,6 +622,8 @@ size_t HiNode::index_bytes() const {
       return ria_->index_bytes();
     case Kind::kLia:
       return lia_->index_bytes();
+    case Kind::kCria:
+      return cria_->index_bytes();
   }
   return 0;
 }
@@ -581,6 +637,8 @@ bool HiNode::CheckInvariants() const {
       return ria_->CheckInvariants();
     case Kind::kLia:
       return lia_->CheckInvariants();
+    case Kind::kCria:
+      return cria_->CheckInvariants();
   }
   return false;
 }

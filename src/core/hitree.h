@@ -25,6 +25,7 @@
 #include <span>
 #include <vector>
 
+#include "src/core/cria.h"
 #include "src/core/options.h"
 #include "src/core/ria.h"
 #include "src/util/bitvector.h"
@@ -99,7 +100,10 @@ class Lia {
 // One adjacency tail with size-adaptive representation.
 class HiNode {
  public:
-  enum class Kind { kArray, kRia, kLia };
+  // kCria is the compressed leaf (Options::compress_leaves): it replaces
+  // both kArray and kRia below M, and serves as the leaf representation of
+  // Lia children, which inherit the option.
+  enum class Kind { kArray, kRia, kLia, kCria };
 
   explicit HiNode(const Options& options);
   ~HiNode();
@@ -136,6 +140,9 @@ class HiNode {
       case Kind::kLia:
         lia_->Map(f);
         break;
+      case Kind::kCria:
+        cria_->Map(f);
+        break;
     }
   }
 
@@ -155,6 +162,8 @@ class HiNode {
         return ria_->MapWhile(f);
       case Kind::kLia:
         return lia_->MapWhile(f);
+      case Kind::kCria:
+        return cria_->MapWhile(f);
     }
     return true;
   }
@@ -183,6 +192,7 @@ class HiNode {
   std::vector<VertexId> array_;
   std::unique_ptr<Ria> ria_;
   std::unique_ptr<Lia> lia_;
+  std::unique_ptr<Cria> cria_;
 };
 
 template <typename F>

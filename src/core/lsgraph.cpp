@@ -131,6 +131,104 @@ bool LSGraph::DeleteFromVertex(VertexBlock& vb, VertexId dst) {
   return true;
 }
 
+void LSGraph::RebuildVertex(VertexBlock& vb, std::span<const VertexId> ids) {
+  size_t inl = std::min<size_t>(ids.size(), kInlineCap);
+  for (size_t i = 0; i < inl; ++i) {
+    vb.inline_edges[i] = ids[i];
+  }
+  vb.inline_count = static_cast<uint32_t>(inl);
+  vb.degree = static_cast<uint32_t>(ids.size());
+  if (ids.size() > inl) {
+    if (vb.tail == nullptr) {
+      vb.tail = new HiNode(options_);
+    }
+    vb.tail->BulkLoad(ids.subspan(inl));
+  } else if (vb.tail != nullptr) {
+    delete vb.tail;
+    vb.tail = nullptr;
+  }
+}
+
+size_t LSGraph::MergeGroupIntoVertex(VertexBlock& vb, const PreparedBatch& pb,
+                                     size_t g, size_t* oob) {
+  const VertexId n = num_vertices();
+  std::vector<VertexId> incoming;
+  incoming.reserve(pb.group_end(g) - pb.group_begin(g));
+  for (size_t i = pb.group_begin(g); i < pb.group_end(g); ++i) {
+    VertexId dst = pb.edges[i].dst;
+    if (dst >= n) {
+      ++*oob;
+    } else {
+      incoming.push_back(dst);  // sorted unique: PrepareBatch deduped
+    }
+  }
+  if (incoming.empty()) {
+    return 0;
+  }
+  std::vector<VertexId> cur;
+  cur.reserve(vb.degree);
+  for (uint32_t i = 0; i < vb.inline_count; ++i) {
+    cur.push_back(vb.inline_edges[i]);
+  }
+  if (vb.tail != nullptr) {
+    vb.tail->Map([&cur](VertexId v) { cur.push_back(v); });
+  }
+  std::vector<VertexId> merged;
+  merged.reserve(cur.size() + incoming.size());
+  std::set_union(cur.begin(), cur.end(), incoming.begin(), incoming.end(),
+                 std::back_inserter(merged));
+  size_t added = merged.size() - cur.size();
+  if (added == 0) {
+    return 0;
+  }
+  bool had_tail = vb.tail != nullptr;
+  RebuildVertex(vb, merged);
+  if (had_tail) {
+    stats_.cria_recompressions.fetch_add(1, std::memory_order_relaxed);
+  }
+  return added;
+}
+
+size_t LSGraph::DeleteGroupFromVertex(VertexBlock& vb, const PreparedBatch& pb,
+                                      size_t g, size_t* oob) {
+  const VertexId n = num_vertices();
+  std::vector<VertexId> outgoing;
+  outgoing.reserve(pb.group_end(g) - pb.group_begin(g));
+  for (size_t i = pb.group_begin(g); i < pb.group_end(g); ++i) {
+    VertexId dst = pb.edges[i].dst;
+    if (dst >= n) {
+      ++*oob;
+    } else {
+      outgoing.push_back(dst);
+    }
+  }
+  if (outgoing.empty() || vb.degree == 0) {
+    return 0;
+  }
+  std::vector<VertexId> cur;
+  cur.reserve(vb.degree);
+  for (uint32_t i = 0; i < vb.inline_count; ++i) {
+    cur.push_back(vb.inline_edges[i]);
+  }
+  if (vb.tail != nullptr) {
+    vb.tail->Map([&cur](VertexId v) { cur.push_back(v); });
+  }
+  std::vector<VertexId> rest;
+  rest.reserve(cur.size());
+  std::set_difference(cur.begin(), cur.end(), outgoing.begin(), outgoing.end(),
+                      std::back_inserter(rest));
+  size_t removed = cur.size() - rest.size();
+  if (removed == 0) {
+    return 0;
+  }
+  bool had_tail = vb.tail != nullptr;
+  RebuildVertex(vb, rest);
+  if (had_tail) {
+    stats_.cria_recompressions.fetch_add(1, std::memory_order_relaxed);
+  }
+  return removed;
+}
+
 bool LSGraph::InsertEdge(VertexId src, VertexId dst) {
   if (src >= num_vertices() || dst >= num_vertices()) {
     oob_rejected_.fetch_add(1, std::memory_order_relaxed);
@@ -185,13 +283,20 @@ size_t LSGraph::InsertPrepared(const PreparedBatch& pb) {
     size_t local = 0;
     size_t oob = 0;
     VertexBlock& vb = blocks_[src];
-    for (size_t i = pb.group_begin(g); i < pb.group_end(g); ++i) {
-      VertexId dst = pb.edges[i].dst;
-      if (dst >= n) {
-        ++oob;
-        continue;
+    if (options_.compress_leaves &&
+        pb.group_end(g) - pb.group_begin(g) >= kGroupMergeMin) {
+      // Recompress the whole run once instead of re-encoding a block per
+      // edge: decode, set-union, rebuild.
+      local = MergeGroupIntoVertex(vb, pb, g, &oob);
+    } else {
+      for (size_t i = pb.group_begin(g); i < pb.group_end(g); ++i) {
+        VertexId dst = pb.edges[i].dst;
+        if (dst >= n) {
+          ++oob;
+          continue;
+        }
+        local += InsertIntoVertex(vb, dst);
       }
-      local += InsertIntoVertex(vb, dst);
     }
     if (oob != 0) {
       oob_rejected_.fetch_add(oob, std::memory_order_relaxed);
@@ -220,13 +325,18 @@ size_t LSGraph::DeletePrepared(const PreparedBatch& pb) {
     size_t local = 0;
     size_t oob = 0;
     VertexBlock& vb = blocks_[src];
-    for (size_t i = pb.group_begin(g); i < pb.group_end(g); ++i) {
-      VertexId dst = pb.edges[i].dst;
-      if (dst >= n) {
-        ++oob;
-        continue;
+    if (options_.compress_leaves &&
+        pb.group_end(g) - pb.group_begin(g) >= kGroupMergeMin) {
+      local = DeleteGroupFromVertex(vb, pb, g, &oob);
+    } else {
+      for (size_t i = pb.group_begin(g); i < pb.group_end(g); ++i) {
+        VertexId dst = pb.edges[i].dst;
+        if (dst >= n) {
+          ++oob;
+          continue;
+        }
+        local += DeleteFromVertex(vb, dst);
       }
-      local += DeleteFromVertex(vb, dst);
     }
     if (oob != 0) {
       oob_rejected_.fetch_add(oob, std::memory_order_relaxed);
@@ -252,6 +362,26 @@ size_t LSGraph::index_bytes() const {
   for (const VertexBlock& vb : blocks_) {
     if (vb.tail != nullptr) {
       total += vb.tail->index_bytes();
+    }
+  }
+  return total;
+}
+
+size_t LSGraph::adjacency_bytes() const {
+  size_t total = 0;
+  for (const VertexBlock& vb : blocks_) {
+    if (vb.tail != nullptr) {
+      total += vb.tail->memory_footprint();
+    }
+  }
+  return total;
+}
+
+EdgeCount LSGraph::tail_edges() const {
+  EdgeCount total = 0;
+  for (const VertexBlock& vb : blocks_) {
+    if (vb.tail != nullptr) {
+      total += vb.tail->size();
     }
   }
   return total;

@@ -122,6 +122,13 @@ class LSGraph {
   // RIA index arrays + LIA models/types: Table 3's index overhead.
   size_t index_bytes() const;
 
+  // Bytes held by adjacency tails only (no vertex blocks): the part of the
+  // footprint the compressed leaf mode actually changes, and the numerator
+  // of the bytes/edge telemetry. Denominator: tail_edges(), the edges
+  // resident in tails (inline ids are raw in both modes).
+  size_t adjacency_bytes() const;
+  EdgeCount tail_edges() const;
+
   const CoreStats& stats() const { return stats_; }
   CoreStats& mutable_stats() { return stats_; }
   const Options& options() const { return options_; }
@@ -140,6 +147,21 @@ class LSGraph {
 
   bool InsertIntoVertex(VertexBlock& vb, VertexId dst);
   bool DeleteFromVertex(VertexBlock& vb, VertexId dst);
+
+  // Grouped-batch recompress path (compressed mode): instead of paying one
+  // block decode + re-encode per edge, a large group merges against the
+  // whole adjacency in one decode / set-merge / rebuild. Below this group
+  // size the per-edge path wins (one touched block vs a full re-encode).
+  static constexpr size_t kGroupMergeMin = 16;
+  // Merges the sorted unique dsts of pb group g into vb; returns edges
+  // added, accumulating out-of-range dsts into *oob.
+  size_t MergeGroupIntoVertex(VertexBlock& vb, const PreparedBatch& pb,
+                              size_t g, size_t* oob);
+  size_t DeleteGroupFromVertex(VertexBlock& vb, const PreparedBatch& pb,
+                               size_t g, size_t* oob);
+  // Re-lays vb out as exactly `ids` (sorted unique): smallest kInlineCap
+  // inline, rest bulk-loaded into the tail (reused if present).
+  void RebuildVertex(VertexBlock& vb, std::span<const VertexId> ids);
 
   // Invariant: a non-null tail is never empty. Deleting the HiNode the
   // moment it drains releases its arrays/index instead of retaining the

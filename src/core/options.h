@@ -26,6 +26,19 @@ struct CoreStats {
   std::atomic<uint64_t> ria_to_array_conversions{0};
   std::atomic<uint64_t> ria_contractions{0};
 
+  // Compressed-leaf (CRIA) instrumentation. bytes_resident is a gauge: the
+  // live footprint of every compressed adjacency structure wired to these
+  // stats (each structure adds its footprint deltas as it grows/shrinks and
+  // subtracts itself on destruction). neighbors_decoded counts ids
+  // materialized from delta-varint payloads — by traversal, point lookups,
+  // and update-path block decodes alike — so the locality-vs-decode
+  // tradeoff is visible next to the timings it explains.
+  // cria_recompressions counts re-encodes wider than one block (windowed
+  // redistributions, slack rebuilds, grouped-batch merges).
+  std::atomic<uint64_t> bytes_resident{0};
+  std::atomic<uint64_t> neighbors_decoded{0};
+  std::atomic<uint64_t> cria_recompressions{0};
+
   // Pull-mode EdgeMap instrumentation (§6.3): how much of the scanned
   // vertices' adjacency was actually decoded before cond(v) ended each
   // scan, and how often EdgeMap ran in each direction. Engine-agnostic —
@@ -43,6 +56,9 @@ struct CoreStats {
     hitree_to_ria_conversions = 0;
     ria_to_array_conversions = 0;
     ria_contractions = 0;
+    bytes_resident = 0;
+    neighbors_decoded = 0;
+    cria_recompressions = 0;
     pull_neighbors_decoded = 0;
     pull_degree_scanned = 0;
     pull_early_exits = 0;
@@ -67,6 +83,18 @@ struct Options {
 
   // Block size BKS for RIA and LIA, in ids; one cache line (§5).
   uint32_t block_size = kPerCacheLine<VertexId>;
+
+  // Compressed leaf mode: adjacency tails store delta-varint payloads in
+  // CRIA blocks (and, above M, in HITrees whose leaves are CRIAs) instead
+  // of raw 4-byte ids. Trades decode work on every scan for ~2-3x fewer
+  // resident adjacency bytes; analytics results are identical either way.
+  bool compress_leaves = false;
+
+  // CRIA block capacity in bytes. Two cache lines by default: the anchor
+  // index plus at most two line transfers per point lookup (the RIA's
+  // locality argument), with per-block overhead amortized over the denser
+  // delta-varint payload.
+  uint32_t cria_block_bytes = 2 * kCacheLineBytes;
 
   // Optional engine-wide counters; may be null.
   CoreStats* stats = nullptr;

@@ -264,7 +264,10 @@ void Ria::MaybeContract() {
 }
 
 size_t Ria::memory_footprint() const {
-  return slots_.capacity() * sizeof(VertexId) + index_bytes();
+  // sizeof(*this) keeps the accounting consistent with Lia and Cria, which
+  // both charge their object headers: footprints are compared across leaf
+  // kinds (bench memory studies, compressed-vs-raw ratios).
+  return sizeof(*this) + slots_.capacity() * sizeof(VertexId) + index_bytes();
 }
 
 size_t Ria::index_bytes() const {

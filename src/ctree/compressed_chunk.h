@@ -17,7 +17,7 @@
 
 namespace lsg {
 
-inline void AppendVarint(std::vector<uint8_t>& out, uint32_t v) {
+inline void AppendVarint(std::vector<uint8_t>& out, uint64_t v) {
   while (v >= 0x80) {
     out.push_back(static_cast<uint8_t>(v) | 0x80);
     v >>= 7;
@@ -25,17 +25,58 @@ inline void AppendVarint(std::vector<uint8_t>& out, uint32_t v) {
   out.push_back(static_cast<uint8_t>(v));
 }
 
-inline uint32_t ReadVarint(const uint8_t*& p) {
-  uint32_t v = 0;
+// Encoded length of v in bytes (1..10), without materializing the bytes.
+inline size_t VarintLength(uint64_t v) {
+  size_t len = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+// Trusted-input decoder: the caller guarantees the stream was produced by
+// AppendVarint. The shift is bounded so even a corrupt stream cannot shift
+// past the value width (formerly UB once a malformed run exceeded 5 bytes);
+// excess continuation bytes are consumed and their payload discarded.
+inline uint64_t ReadVarint(const uint8_t*& p) {
+  uint64_t v = 0;
   int shift = 0;
   for (;;) {
     uint8_t b = *p++;
-    v |= static_cast<uint32_t>(b & 0x7f) << shift;
+    if (shift < 64) {
+      v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    }
     if ((b & 0x80) == 0) {
       return v;
     }
     shift += 7;
   }
+}
+
+// Untrusted-input decoder for file/network bytes: advances *p and fills
+// *out, returning false (with *p and *out unspecified but in-bounds) if the
+// varint runs past `end` or encodes more than 64 bits. Never reads past
+// `end` and never shifts out of range.
+inline bool TryReadVarint(const uint8_t** p, const uint8_t* end,
+                          uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  const uint8_t* q = *p;
+  while (q < end) {
+    uint8_t b = *q++;
+    if (shift >= 64 || (shift == 63 && (b & 0x7e) != 0)) {
+      return false;  // would overflow 64 bits
+    }
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      *p = q;
+      *out = v;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;  // ran off the buffer mid-varint
 }
 
 // A sorted set of ids strictly greater than `base`, stored delta-compressed.

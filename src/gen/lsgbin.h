@@ -1,0 +1,333 @@
+// .lsgbin: a compressed CSR-style binary graph container with per-range
+// offsets, built for parallel loading (ROADMAP item 3; ParaGrapher's
+// selective-loading WebGraph API is the external model, PAPERS.md).
+//
+// Layout (all fixed-width fields little-endian uint64):
+//
+//   header    magic, num_vertices, num_edges, num_ranges
+//   ranges    (num_ranges + 1) x {first_vertex, edge_offset, byte_offset}
+//   payload   per vertex: varint degree, then (degree > 0) varint first
+//             neighbor followed by degree-1 varint deltas (strictly
+//             ascending, so every delta is >= 1)
+//
+// The range table carves the vertex space into contiguous, edge-balanced
+// spans; entry i names its first vertex, its first edge's rank, and its
+// payload byte start, with a sentinel entry (num_vertices, num_edges,
+// payload_size) closing the last span. A loader thread seeks straight to
+// its range's bytes and decodes independently — no scan-to-find-my-offset
+// pass — which is what makes the 1->8 thread speedup near-linear.
+//
+// The payload is decoded with the bounds-checked TryReadVarint (file bytes
+// are untrusted input): truncation, continuation runs past a range end, a
+// 64-bit overflow, or an id outside [0, num_vertices) all fail loading with
+// a descriptive error instead of UB.
+#ifndef SRC_GEN_LSGBIN_H_
+#define SRC_GEN_LSGBIN_H_
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/ctree/compressed_chunk.h"
+#include "src/parallel/thread_pool.h"
+#include "src/util/graph_types.h"
+
+namespace lsg {
+
+namespace lsgbin_internal {
+
+// The magic spelled out from the characters so the constant can't rot.
+inline uint64_t Magic() {
+  const char tag[8] = {'L', 'S', 'G', 'B', 'I', 'N', '0', '1'};
+  uint64_t m = 0;
+  std::memcpy(&m, tag, sizeof(m));
+  return m;
+}
+
+struct RangeEntry {
+  uint64_t first_vertex;
+  uint64_t edge_offset;
+  uint64_t byte_offset;  // relative to payload start
+};
+
+inline void AppendU64(std::vector<uint8_t>& out, uint64_t v) {
+  uint8_t buf[8];
+  std::memcpy(buf, &v, sizeof(buf));
+  out.insert(out.end(), buf, buf + sizeof(buf));
+}
+
+}  // namespace lsgbin_internal
+
+struct LoadedGraph {
+  VertexId num_vertices = 0;
+  std::vector<Edge> edges;  // CSR order: sorted by (src, dst), unique
+};
+
+// Serializes a graph to `path`. `sorted_edges` must be sorted by (src, dst)
+// and duplicate-free, with every endpoint < num_vertices (the PrepareBatch /
+// BuildDatasetEdges output contract). num_ranges == 0 picks an edge-count
+// based default; it is clamped so every range holds at least one vertex.
+// Returns the number of bytes written.
+inline size_t WriteLsgbin(const std::string& path, VertexId num_vertices,
+                          std::span<const Edge> sorted_edges,
+                          size_t num_ranges = 0) {
+  using lsgbin_internal::AppendU64;
+  using lsgbin_internal::RangeEntry;
+  const size_t m = sorted_edges.size();
+  if (num_ranges == 0) {
+    num_ranges = std::clamp<size_t>(m / 32768, 1, 1024);
+  }
+  num_ranges = std::clamp<size_t>(num_ranges, 1, std::max<size_t>(1, num_vertices));
+
+  // Encode the payload vertex by vertex, recording range cut points at
+  // vertex boundaries once a range has accumulated its share of edges.
+  std::vector<uint8_t> payload;
+  payload.reserve(m * 2 + num_vertices);
+  std::vector<RangeEntry> ranges;
+  ranges.reserve(num_ranges + 1);
+  const uint64_t edges_per_range = (m + num_ranges - 1) / std::max<size_t>(1, num_ranges);
+  size_t e = 0;  // next edge to encode
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    if (ranges.empty() ||
+        (ranges.size() < num_ranges &&
+         e >= ranges.size() * std::max<uint64_t>(1, edges_per_range))) {
+      ranges.push_back({v, e, payload.size()});
+    }
+    size_t begin = e;
+    while (e < m && sorted_edges[e].src == v) {
+      ++e;
+    }
+    assert(e == m || sorted_edges[e].src > v);
+    size_t deg = e - begin;
+    AppendVarint(payload, deg);
+    if (deg != 0) {
+      AppendVarint(payload, sorted_edges[begin].dst);
+      for (size_t i = begin + 1; i < e; ++i) {
+        assert(sorted_edges[i].dst > sorted_edges[i - 1].dst);
+        AppendVarint(payload, sorted_edges[i].dst - sorted_edges[i - 1].dst);
+      }
+    }
+  }
+  if (e != m) {
+    throw std::runtime_error("edges reference vertices >= num_vertices");
+  }
+  if (ranges.empty()) {
+    ranges.push_back({0, 0, 0});  // num_vertices == 0
+  }
+  ranges.push_back({num_vertices, m, payload.size()});  // sentinel
+
+  std::vector<uint8_t> head;
+  head.reserve(4 * 8 + ranges.size() * sizeof(RangeEntry));
+  AppendU64(head, lsgbin_internal::Magic());
+  AppendU64(head, num_vertices);
+  AppendU64(head, m);
+  AppendU64(head, ranges.size() - 1);
+  for (const RangeEntry& r : ranges) {
+    AppendU64(head, r.first_vertex);
+    AppendU64(head, r.edge_offset);
+    AppendU64(head, r.byte_offset);
+  }
+
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open for write: " + path);
+  }
+  bool ok = std::fwrite(head.data(), 1, head.size(), f) == head.size();
+  ok = ok && (payload.empty() ||
+              std::fwrite(payload.data(), 1, payload.size(), f) == payload.size());
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    throw std::runtime_error("short write: " + path);
+  }
+  return head.size() + payload.size();
+}
+
+namespace lsgbin_internal {
+
+// RAII mmap of a whole file, read-only.
+class MappedFile {
+ public:
+  explicit MappedFile(const std::string& path) {
+    fd_ = ::open(path.c_str(), O_RDONLY);
+    if (fd_ < 0) {
+      throw std::runtime_error("cannot open: " + path);
+    }
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) {
+      ::close(fd_);
+      throw std::runtime_error("cannot stat: " + path);
+    }
+    size_ = static_cast<size_t>(st.st_size);
+    if (size_ != 0) {
+      void* p = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd_, 0);
+      if (p == MAP_FAILED) {
+        ::close(fd_);
+        throw std::runtime_error("mmap failed: " + path + ": " +
+                                 std::strerror(errno));
+      }
+      data_ = static_cast<const uint8_t*>(p);
+    }
+  }
+
+  ~MappedFile() {
+    if (data_ != nullptr) {
+      ::munmap(const_cast<uint8_t*>(data_), size_);
+    }
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  int fd_ = -1;
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+inline uint64_t LoadU64(const uint8_t* p) {
+  uint64_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace lsgbin_internal
+
+// Loads a .lsgbin file, decoding ranges in parallel on `pool` (the global
+// pool when null). Throws std::runtime_error on any malformed input; never
+// reads out of bounds.
+inline LoadedGraph LoadLsgbin(const std::string& path,
+                              ThreadPool* pool = nullptr) {
+  using lsgbin_internal::LoadU64;
+  using lsgbin_internal::MappedFile;
+  MappedFile file(path);
+  constexpr size_t kHeaderBytes = 4 * 8;
+  if (file.size() < kHeaderBytes) {
+    throw std::runtime_error("truncated header: " + path);
+  }
+  const uint8_t* base = file.data();
+  if (LoadU64(base) != lsgbin_internal::Magic()) {
+    throw std::runtime_error("bad magic: " + path);
+  }
+  const uint64_t num_vertices = LoadU64(base + 8);
+  const uint64_t num_edges = LoadU64(base + 16);
+  const uint64_t num_ranges = LoadU64(base + 24);
+  if (num_vertices > kInvalidVertex || num_ranges > num_vertices + 1 ||
+      num_ranges == 0) {
+    throw std::runtime_error("corrupt header: " + path);
+  }
+  const size_t table_bytes = (num_ranges + 1) * 3 * 8;
+  if (file.size() < kHeaderBytes + table_bytes) {
+    throw std::runtime_error("truncated range table: " + path);
+  }
+  const uint8_t* payload = base + kHeaderBytes + table_bytes;
+  const size_t payload_bytes = file.size() - kHeaderBytes - table_bytes;
+
+  auto range = [&](size_t i) {
+    const uint8_t* p = base + kHeaderBytes + i * 3 * 8;
+    return lsgbin_internal::RangeEntry{LoadU64(p), LoadU64(p + 8),
+                                       LoadU64(p + 16)};
+  };
+  // Sentinel + monotonicity checks up front so the decode loop can trust
+  // the offsets as slice bounds.
+  auto sentinel = range(num_ranges);
+  if (sentinel.first_vertex != num_vertices || sentinel.edge_offset != num_edges ||
+      sentinel.byte_offset != payload_bytes) {
+    throw std::runtime_error(payload_bytes < sentinel.byte_offset
+                                 ? "truncated payload: " + path
+                                 : "corrupt range table: " + path);
+  }
+  for (size_t i = 0; i < num_ranges; ++i) {
+    auto cur = range(i);
+    auto next = range(i + 1);
+    if (cur.first_vertex > next.first_vertex ||
+        cur.edge_offset > next.edge_offset ||
+        cur.byte_offset > next.byte_offset ||
+        (i == 0 && (cur.first_vertex != 0 || cur.edge_offset != 0 ||
+                    cur.byte_offset != 0))) {
+      throw std::runtime_error("corrupt range table: " + path);
+    }
+  }
+
+  LoadedGraph out;
+  out.num_vertices = static_cast<VertexId>(num_vertices);
+  out.edges.resize(num_edges);
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::Global();
+  // One error slot per range: threads never contend, the first failure (in
+  // range order) is reported after the join.
+  std::vector<std::string> errors(num_ranges);
+  std::atomic<bool> failed{false};
+  p.ParallelFor(
+      0, num_ranges,
+      [&](size_t i) {
+        auto cur = range(i);
+        auto next = range(i + 1);
+        const uint8_t* q = payload + cur.byte_offset;
+        const uint8_t* end = payload + next.byte_offset;
+        Edge* e = out.edges.data() + cur.edge_offset;
+        Edge* e_end = out.edges.data() + next.edge_offset;
+        for (uint64_t v = cur.first_vertex; v < next.first_vertex; ++v) {
+          uint64_t deg = 0;
+          uint64_t prev = 0;
+          if (!TryReadVarint(&q, end, &deg) ||
+              deg > static_cast<uint64_t>(e_end - e)) {
+            errors[i] = "truncated payload (range " + std::to_string(i) + ")";
+            failed.store(true, std::memory_order_relaxed);
+            return;
+          }
+          for (uint64_t k = 0; k < deg; ++k) {
+            uint64_t delta = 0;
+            if (!TryReadVarint(&q, end, &delta)) {
+              errors[i] = "truncated payload (range " + std::to_string(i) + ")";
+              failed.store(true, std::memory_order_relaxed);
+              return;
+            }
+            uint64_t dst = k == 0 ? delta : prev + delta;
+            if (dst >= num_vertices || (k != 0 && delta == 0)) {
+              errors[i] = "neighbor id out of range (range " +
+                          std::to_string(i) + ")";
+              failed.store(true, std::memory_order_relaxed);
+              return;
+            }
+            *e++ = Edge{static_cast<VertexId>(v), static_cast<VertexId>(dst)};
+            prev = dst;
+          }
+        }
+        if (e != e_end || q != end) {
+          errors[i] = "range contents disagree with range table (range " +
+                      std::to_string(i) + ")";
+          failed.store(true, std::memory_order_relaxed);
+        }
+      },
+      /*grain=*/1);
+  if (failed.load(std::memory_order_relaxed)) {
+    for (const std::string& err : errors) {
+      if (!err.empty()) {
+        throw std::runtime_error(err + ": " + path);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace lsg
+
+#endif  // SRC_GEN_LSGBIN_H_

@@ -174,8 +174,9 @@ class GraphAdapter : public EngineAdapter {
 // within a constant factor of (delete paths must release, not retain).
 class LSGraphAdapter : public GraphAdapter<LSGraph> {
  public:
-  LSGraphAdapter(std::unique_ptr<LSGraph> graph, ThreadPool* pool)
-      : GraphAdapter("lsgraph", std::move(graph)), pool_(pool) {}
+  LSGraphAdapter(std::unique_ptr<LSGraph> graph, ThreadPool* pool,
+                 std::string_view name = "lsgraph")
+      : GraphAdapter(name, std::move(graph)), pool_(pool) {}
 
   size_t FreshFootprint() const override {
     std::vector<Edge> edges;
@@ -220,6 +221,17 @@ std::vector<std::unique_ptr<EngineAdapter>> MakeDefaultAdapters(
   out.push_back(std::make_unique<ReferenceAdapter>(n));
   out.push_back(std::make_unique<LSGraphAdapter>(
       std::make_unique<LSGraph>(n, Options{}, pool), pool));
+  // Compressed-leaf LSGraph, run lockstep against the same oracle so every
+  // insert/delete/recompress path diffs against std::set. Shrunk thresholds
+  // force a short trace through the whole ladder: CRIA -> HITree conversion
+  // (m), Lia children whose leaves are CRIAs, and the delete-side
+  // downgrades; a small block keeps redistributions/rebuilds frequent.
+  Options cria_options;
+  cria_options.compress_leaves = true;
+  cria_options.m_threshold = 64;
+  cria_options.cria_block_bytes = 32;
+  out.push_back(std::make_unique<LSGraphAdapter>(
+      std::make_unique<LSGraph>(n, cria_options, pool), pool, "lsgraph-cria"));
   out.push_back(std::make_unique<GraphAdapter<TerraceGraph>>(
       "terrace", std::make_unique<TerraceGraph>(n, TerraceOptions{}, pool)));
   out.push_back(std::make_unique<GraphAdapter<AspenGraph>>(

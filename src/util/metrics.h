@@ -131,6 +131,9 @@ class MetricRegistry {
         {"pull_early_exits", stats.pull_early_exits.load()},
         {"edgemap_pull_rounds", stats.edgemap_pull_rounds.load()},
         {"edgemap_push_rounds", stats.edgemap_push_rounds.load()},
+        {"bytes_resident", stats.bytes_resident.load()},
+        {"neighbors_decoded", stats.neighbors_decoded.load()},
+        {"cria_recompressions", stats.cria_recompressions.load()},
     };
     for (const Counter& c : counters) {
       Add({.dataset = dataset,

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/gen/datasets.h"
+#include "src/gen/lsgbin.h"
+#include "src/parallel/thread_pool.h"
+#include "src/util/graph_types.h"
+#include "src/util/sort.h"
+
+namespace lsg {
+namespace {
+
+class LsgbinTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    std::string path =
+        ::testing::TempDir() + "lsgbin_test_" + name + ".lsgbin";
+    paths_.push_back(path);
+    return path;
+  }
+
+  void TearDown() override {
+    for (const std::string& p : paths_) {
+      std::remove(p.c_str());
+    }
+  }
+
+  // Reads the whole file, applies mutate, writes it back.
+  static void Rewrite(const std::string& path,
+                      void (*mutate)(std::vector<uint8_t>*)) {
+    FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    std::vector<uint8_t> bytes(std::ftell(f));
+    std::fseek(f, 0, SEEK_SET);
+    ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+    std::fclose(f);
+    mutate(&bytes);
+    f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+    std::fclose(f);
+  }
+
+ private:
+  std::vector<std::string> paths_;
+};
+
+TEST_F(LsgbinTest, RoundTripsRmatAtOneTwoAndEightThreads) {
+  std::vector<Edge> edges = BuildDatasetEdges(TestDataset());
+  VertexId n = VertexId{1} << TestDataset().scale;
+  std::string path = TempPath("roundtrip");
+  WriteLsgbin(path, n, edges, /*num_ranges=*/13);  // odd count: uneven cuts
+  for (size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    LoadedGraph g = LoadLsgbin(path, &pool);
+    EXPECT_EQ(g.num_vertices, n) << threads << " threads";
+    ASSERT_EQ(g.edges.size(), edges.size()) << threads << " threads";
+    EXPECT_EQ(g.edges, edges) << threads << " threads";
+  }
+}
+
+TEST_F(LsgbinTest, RoundTripsEmptyAndEdgelessGraphs) {
+  std::string path = TempPath("empty");
+  WriteLsgbin(path, 0, {});
+  LoadedGraph g = LoadLsgbin(path);
+  EXPECT_EQ(g.num_vertices, 0u);
+  EXPECT_TRUE(g.edges.empty());
+
+  WriteLsgbin(path, 100, {});  // vertices but no edges
+  g = LoadLsgbin(path);
+  EXPECT_EQ(g.num_vertices, 100u);
+  EXPECT_TRUE(g.edges.empty());
+}
+
+TEST_F(LsgbinTest, RangeCountIsClampedAndPreservesContent) {
+  std::vector<Edge> edges = {{0, 1}, {0, 3}, {1, 0}, {3, 0}};
+  std::string path = TempPath("clamp");
+  // More ranges than vertices: the writer must clamp, not emit empty junk.
+  WriteLsgbin(path, 4, edges, /*num_ranges=*/64);
+  LoadedGraph g = LoadLsgbin(path);
+  EXPECT_EQ(g.edges, edges);
+}
+
+TEST_F(LsgbinTest, MissingFileFailsToOpen) {
+  EXPECT_THROW(
+      {
+        try {
+          LoadLsgbin("/nonexistent/dir/nope.lsgbin");
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("cannot open"),
+                    std::string::npos);
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST_F(LsgbinTest, MmapFailureIsReported) {
+  // A directory opens fine but cannot be mmapped (ENODEV on Linux).
+  EXPECT_THROW(
+      {
+        try {
+          LoadLsgbin(::testing::TempDir());
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("mmap failed"),
+                    std::string::npos);
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST_F(LsgbinTest, TruncationAtEveryLayerIsRejected) {
+  std::vector<Edge> edges = BuildDatasetEdges(TestDataset());
+  std::string full = TempPath("full");
+  WriteLsgbin(full, VertexId{1} << TestDataset().scale, edges, 8);
+  FILE* f = std::fopen(full.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  std::vector<uint8_t> bytes(std::ftell(f));
+  std::fseek(f, 0, SEEK_SET);
+  ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+
+  // Cut in the header, in the range table, and in the payload.
+  for (size_t cut : {size_t{12}, size_t{40}, bytes.size() - 7}) {
+    std::string path = TempPath("cut" + std::to_string(cut));
+    f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, cut, f), cut);
+    std::fclose(f);
+    EXPECT_THROW(LoadLsgbin(path), std::runtime_error) << "cut at " << cut;
+  }
+}
+
+TEST_F(LsgbinTest, BadMagicIsRejected) {
+  std::string path = TempPath("magic");
+  WriteLsgbin(path, 4, std::vector<Edge>{{0, 1}});
+  Rewrite(path, [](std::vector<uint8_t>* b) { (*b)[0] ^= 0xff; });
+  EXPECT_THROW(
+      {
+        try {
+          LoadLsgbin(path);
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("bad magic"),
+                    std::string::npos);
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST_F(LsgbinTest, CorruptPayloadVarintIsRejected) {
+  std::string path = TempPath("varint");
+  WriteLsgbin(path, 4, std::vector<Edge>{{0, 1}, {0, 2}}, 1);
+  // Set the continuation bit on the final payload byte: the varint now runs
+  // off the end of the file and TryReadVarint must refuse it.
+  Rewrite(path, [](std::vector<uint8_t>* b) { b->back() |= 0x80; });
+  EXPECT_THROW(LoadLsgbin(path), std::runtime_error);
+}
+
+TEST_F(LsgbinTest, OutOfRangeNeighborIsRejected) {
+  std::string path = TempPath("oob");
+  // Two vertices, one edge 0->1. The payload starts after the 32-byte
+  // header and the 2-entry range table (48 bytes): [deg=1, dst=1, deg=0].
+  // Bumping the dst byte to 5 decodes a neighbor >= num_vertices.
+  WriteLsgbin(path, 2, std::vector<Edge>{{0, 1}}, 1);
+  Rewrite(path, [](std::vector<uint8_t>* b) {
+    ASSERT_EQ(b->size(), 32u + 48u + 3u);
+    (*b)[81] = 5;
+  });
+  EXPECT_THROW(
+      {
+        try {
+          LoadLsgbin(path);
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("out of range"),
+                    std::string::npos);
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lsg

@@ -1,0 +1,137 @@
+// Edge-list -> .lsgbin converter.
+//
+// Reads a SNAP-style text edge list ("src dst" per line, # comments), the
+// repo's packed binary edge dump (edge_io.h), or synthesizes an rMat
+// dataset, then writes the parallel-loadable .lsgbin container (lsgbin.h).
+//
+//   make_lsgbin --in=graph.txt --out=graph.lsgbin [--format=text|binary]
+//               [--num-vertices=N] [--symmetrize] [--ranges=R]
+//   make_lsgbin --rmat=20,8,500 --out=rm20.lsgbin [--ranges=R]
+//
+// Input edges are sorted and deduplicated here; --num-vertices defaults to
+// max endpoint + 1. --symmetrize mirrors every edge (the undirected
+// convention the analytics kernels assume).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/gen/datasets.h"
+#include "src/gen/edge_io.h"
+#include "src/gen/lsgbin.h"
+#include "src/parallel/thread_pool.h"
+#include "src/util/graph_types.h"
+#include "src/util/sort.h"
+#include "src/util/timer.h"
+
+namespace {
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: make_lsgbin --in=PATH --out=PATH [--format=text|binary]\n"
+               "                   [--num-vertices=N] [--symmetrize] [--ranges=R]\n"
+               "       make_lsgbin --rmat=SCALE,AVG_DEGREE,SEED --out=PATH "
+               "[--ranges=R]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string in;
+  std::string out;
+  std::string format = "text";
+  std::string rmat;
+  std::string value;
+  uint64_t num_vertices = 0;
+  size_t ranges = 0;
+  bool symmetrize = false;
+  for (int i = 1; i < argc; ++i) {
+    if (ParseFlag(argv[i], "--in", &in) || ParseFlag(argv[i], "--out", &out) ||
+        ParseFlag(argv[i], "--format", &format) ||
+        ParseFlag(argv[i], "--rmat", &rmat)) {
+      continue;
+    }
+    if (ParseFlag(argv[i], "--num-vertices", &value)) {
+      num_vertices = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--ranges", &value)) {
+      ranges = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--symmetrize") == 0) {
+      symmetrize = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return Usage();
+    }
+  }
+  if (out.empty() || (in.empty() == rmat.empty())) {
+    return Usage();
+  }
+
+  try {
+    lsg::Timer timer;
+    std::vector<lsg::Edge> edges;
+    if (!rmat.empty()) {
+      int scale = 0;
+      double avg_degree = 0.0;
+      unsigned long long seed = 0;
+      if (std::sscanf(rmat.c_str(), "%d,%lf,%llu", &scale, &avg_degree,
+                      &seed) != 3 ||
+          scale < 1 || scale > 30 || avg_degree <= 0.0) {
+        std::fprintf(stderr, "bad --rmat spec: %s\n", rmat.c_str());
+        return Usage();
+      }
+      lsg::DatasetSpec spec{"RMAT", scale, avg_degree, seed};
+      edges = lsg::BuildDatasetEdges(spec);  // already symmetrized + deduped
+      num_vertices = uint64_t{1} << scale;
+    } else if (format == "text") {
+      edges = lsg::ReadEdgesText(in);
+    } else if (format == "binary") {
+      edges = lsg::ReadEdgesBinary(in);
+    } else {
+      std::fprintf(stderr, "unknown --format: %s\n", format.c_str());
+      return Usage();
+    }
+    double read_seconds = timer.Seconds();
+
+    if (symmetrize) {
+      size_t n = edges.size();
+      edges.reserve(2 * n);
+      for (size_t i = 0; i < n; ++i) {
+        edges.push_back(lsg::Edge{edges[i].dst, edges[i].src});
+      }
+    }
+    if (num_vertices == 0) {
+      for (const lsg::Edge& e : edges) {
+        num_vertices = std::max<uint64_t>(
+            num_vertices, uint64_t{std::max(e.src, e.dst)} + 1);
+      }
+    }
+    size_t dropped =
+        lsg::RemoveOutOfRangeEdges(&edges, static_cast<lsg::VertexId>(num_vertices));
+    lsg::ParallelSortEdges(edges, lsg::ThreadPool::Global());
+
+    timer.Reset();
+    lsg::WriteLsgbin(out, static_cast<lsg::VertexId>(num_vertices), edges,
+                     ranges);
+    std::printf(
+        "wrote %s: %llu vertices, %zu edges (%zu dropped out-of-range), "
+        "read %.3fs write %.3fs\n",
+        out.c_str(), static_cast<unsigned long long>(num_vertices),
+        edges.size(), dropped, read_seconds, timer.Seconds());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
