@@ -6,9 +6,15 @@
 //
 // Expected shape: LSGraph ahead of Terrace by ~1.6-3x and ahead of
 // Aspen/PaC-tree by smaller margins (small batches blunt LSGraph's edge).
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
 
 #include "bench/common.h"
+#include "src/analytics/bfs.h"
+#include "src/analytics/pagerank.h"
 #include "src/gen/temporal.h"
 
 namespace lsg {
@@ -74,6 +80,140 @@ void Run(const TemporalSpec& spec, ThreadPool& pool,
   add("PaC-tree", pactree);
 }
 
+// ---- Reads-during-ingest study (§MVCC, DESIGN.md §12). ----
+//
+// Pins a Snapshot() of the base graph, then streams >= 1M additional edges
+// from a writer thread while BFS and PageRank run against the pin. The
+// racing results must be identical to a quiesced re-run on the same pin —
+// that equality is the whole point of snapshot isolation, so a mismatch
+// aborts the binary (and fails the perfsmoke test). Snapshot-acquire
+// latency is sampled under writer contention and reported as p50/p99.
+
+struct IngestStudySpec {
+  int scale;              // base graph: rMat at this scale, symmetrized
+  uint64_t stream_edges;  // edges landed while the pin is held
+  uint64_t batch;
+};
+
+IngestStudySpec IngestSpec() {
+  switch (BenchScale()) {
+    case Scale::kTiny:
+      return {15, 1'000'000, 20'000};
+    case Scale::kSmall:
+      return {17, 2'000'000, 50'000};
+    case Scale::kFull:
+      return {20, 16'000'000, 100'000};
+  }
+  return {};
+}
+
+void CheckPinned(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FATAL: pinned %s diverged from quiesced run on the same "
+                 "snapshot version\n",
+                 what);
+    std::abort();
+  }
+}
+
+double PercentileSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+void RunReadsDuringIngest(ThreadPool& pool, BenchReporter& reporter) {
+  IngestStudySpec spec = IngestSpec();
+  DatasetSpec base_spec{"RDI", spec.scale, 8.0, 42};
+  LSGraph g(NumVerticesFor(base_spec), Options{}, &pool);
+  g.BuildFromEdges(BuildDatasetEdges(base_spec));
+
+  // Quiesced reference answers on the pinned version, before ingest starts.
+  auto snap = g.Snapshot();
+  uint64_t pinned_edges = snap->num_edges();
+  BfsResult quiesced_bfs = Bfs(*snap, 0, pool);
+  std::vector<double> quiesced_pr = PageRank(*snap, pool, {.iterations = 5});
+
+  // Writer: stream the update batches. Readers below race against the pin
+  // on the main thread while these land.
+  std::vector<Edge> stream;
+  stream.reserve(spec.stream_edges);
+  for (uint64_t trial = 0; stream.size() < spec.stream_edges; ++trial) {
+    std::vector<Edge> b = BuildUpdateBatch(base_spec, spec.batch, trial);
+    stream.insert(stream.end(), b.begin(), b.end());
+  }
+  Timer ingest_timer;
+  std::thread writer([&g, &stream, &spec] {
+    for (size_t off = 0; off < stream.size(); off += spec.batch) {
+      size_t len = std::min<size_t>(spec.batch, stream.size() - off);
+      g.InsertBatch(std::span<const Edge>(stream.data() + off, len));
+    }
+  });
+
+  // Racing analytics on the pin while the stream lands.
+  Timer timer;
+  BfsResult racing_bfs = Bfs(*snap, 0, pool);
+  double bfs_seconds = timer.Seconds();
+  timer.Reset();
+  std::vector<double> racing_pr = PageRank(*snap, pool, {.iterations = 5});
+  double pr_seconds = timer.Seconds();
+
+  // Snapshot-acquire latency under writer contention: each acquire briefly
+  // takes the writer gate, so these samples include time spent waiting for
+  // in-flight mutation units.
+  constexpr size_t kAcquireSamples = 256;
+  std::vector<double> acquire;
+  acquire.reserve(kAcquireSamples);
+  for (size_t i = 0; i < kAcquireSamples; ++i) {
+    Timer t;
+    auto probe = g.Snapshot();
+    acquire.push_back(t.Seconds());
+    probe.reset();
+    std::this_thread::yield();
+  }
+  writer.join();
+  double ingest_seconds = ingest_timer.Seconds();
+
+  // The pin must still read the pre-ingest version: same edge count, and
+  // byte-identical analytics results whether they raced the writer or ran
+  // after it quiesced.
+  CheckPinned(snap->num_edges() == pinned_edges, "num_edges");
+  CheckPinned(racing_bfs.level == quiesced_bfs.level, "BFS levels");
+  CheckPinned(racing_bfs.reached == quiesced_bfs.reached, "BFS reach count");
+  CheckPinned(racing_pr == quiesced_pr, "PageRank vector");
+  BfsResult after_bfs = Bfs(*snap, 0, pool);
+  CheckPinned(after_bfs.level == quiesced_bfs.level, "post-quiesce BFS");
+  CheckPinned(PageRank(*snap, pool, {.iterations = 5}) == quiesced_pr,
+              "post-quiesce PageRank");
+
+  std::sort(acquire.begin(), acquire.end());
+  double p50 = PercentileSorted(acquire, 0.50);
+  double p99 = PercentileSorted(acquire, 0.99);
+  double ingest_tput = Throughput(stream.size(), ingest_seconds);
+  std::printf(
+      "RDI streamed=%zu edges during pin | ingest %10.3e e/s | pinned BFS "
+      "%.4fs PR %.4fs | snapshot acquire p50 %.2e s p99 %.2e s\n",
+      stream.size(), ingest_tput, bfs_seconds, pr_seconds, p50, p99);
+
+  auto add = [&](const char* metric, double value, const char* unit) {
+    reporter.Add({.dataset = "RDI",
+                  .engine = "LSGraph",
+                  .metric = metric,
+                  .value = value,
+                  .unit = unit,
+                  .batch_size = static_cast<int64_t>(spec.batch)});
+  };
+  add("ingest_throughput_pinned", ingest_tput, "edges/s");
+  add("pinned_bfs_time", bfs_seconds, "s");
+  add("pinned_pagerank_time", pr_seconds, "s");
+  add("snapshot_acquire_p50", p50, "s");
+  add("snapshot_acquire_p99", p99, "s");
+  reporter.AddCoreStats("RDI", "LSGraph", g.stats());
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace lsg
@@ -87,5 +227,7 @@ int main() {
   for (const TemporalSpec& spec : TemporalDatasets()) {
     Run(spec, pool, reporter);
   }
+  PrintHeader("MVCC: analytics on a pinned Snapshot() during ingest");
+  RunReadsDuringIngest(pool, reporter);
   return reporter.Write() ? 0 : 1;
 }

@@ -217,6 +217,20 @@ Cria::Cria(const Options& options)
   assert(alpha_ >= 1.0f);
 }
 
+Cria::Cria(const Cria& other)
+    : data_(other.data_),
+      core_stats_(other.core_stats_),
+      num_blocks_(other.num_blocks_),
+      size_(other.size_),
+      used_total_(other.used_total_),
+      stats_(other.stats_),
+      block_bytes_(other.block_bytes_),
+      alpha_(other.alpha_) {
+  // resident_reported_ stays 0 until here: the clone is new residency, on
+  // top of (not instead of) the original's.
+  UpdateResidentGauge();
+}
+
 Cria::~Cria() {
   if (core_stats_ != nullptr && resident_reported_ != 0) {
     core_stats_->bytes_resident.fetch_sub(resident_reported_,

@@ -65,7 +65,12 @@ class Cria {
   explicit Cria(const Options& options);
   ~Cria();
 
-  Cria(const Cria&) = delete;
+  // COW clone for MVCC snapshots (DESIGN.md §12): deep-copies the single
+  // [anchors|meta|payload] allocation so the clone never aliases the live
+  // bytes — a later recompaction/redistribution of the original cannot
+  // invalidate a pinned snapshot's scan — and reports its own footprint
+  // into the resident gauge.
+  Cria(const Cria& other);
   Cria& operator=(const Cria&) = delete;
 
   // Rebuilds from sorted unique ids. Blocks are packed to a payload target

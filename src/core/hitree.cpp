@@ -110,10 +110,10 @@ Lia::Lia(const Options& options, std::span<const VertexId> sorted_ids)
     }
     size_t begin = child_groups[g].begin;
     size_t end = child_groups[h].end;
-    auto child = std::make_unique<HiNode>(options_);
+    HiNode* child = new HiNode(options_);
     child->BulkLoad(sorted_ids.subspan(begin, end - begin),
                     /*force_flat=*/end - begin == n);
-    uint32_t idx = AllocChild(std::move(child));
+    uint32_t idx = AllocChild(child);
     for (size_t gg = g; gg <= h; ++gg) {
       size_t ba = child_groups[gg].block * bks;
       types_.SetRange(ba, ba + bks, SlotType::kChild);
@@ -125,7 +125,42 @@ Lia::Lia(const Options& options, std::span<const VertexId> sorted_ids)
   }
 }
 
-Lia::~Lia() = default;
+Lia::~Lia() {
+  for (HiNode* c : children_) {
+    if (c != nullptr) {
+      c->Unref();
+    }
+  }
+}
+
+Lia::Lia(const Lia& other, std::nullptr_t)
+    : options_(other.options_),
+      slots_(other.slots_),
+      types_(other.types_),
+      slope_(other.slope_),
+      intercept_(other.intercept_),
+      children_(other.children_),
+      free_children_(other.free_children_),
+      size_(other.size_) {
+  for (HiNode* c : children_) {
+    if (c != nullptr) {
+      c->Ref();  // shared until a writer descends into it
+    }
+  }
+}
+
+HiNode* Lia::MutableChild(uint32_t idx) {
+  HiNode* c = children_[idx];
+  if (c->Shared()) {
+    // A pinned snapshot (via a pre-image chain) still reaches this child;
+    // mutate a private clone instead.
+    HiNode* copy = c->CloneShallow();
+    children_[idx] = copy;
+    c->Unref();
+    return copy;
+  }
+  return c;
+}
 
 size_t Lia::Predict(VertexId id) const {
   double p = slope_ * id + intercept_;
@@ -157,24 +192,24 @@ void Lia::StoreBlock(size_t b, std::span<const VertexId> ids) {
   types_.SetRange(ba + ids.size(), ba + bks, SlotType::kUnused);
 }
 
-uint32_t Lia::AllocChild(std::unique_ptr<HiNode> child) {
+uint32_t Lia::AllocChild(HiNode* child) {
   if (!free_children_.empty()) {
     uint32_t idx = free_children_.back();
     free_children_.pop_back();
-    children_[idx] = std::move(child);
+    children_[idx] = child;
     return idx;
   }
   uint32_t idx = static_cast<uint32_t>(children_.size());
-  children_.push_back(std::move(child));
+  children_.push_back(child);
   return idx;
 }
 
 void Lia::MakeChild(size_t b, std::span<const VertexId> ids) {
   size_t ba = b * options_.block_size;
   size_t bks = options_.block_size;
-  auto child = std::make_unique<HiNode>(options_);
+  HiNode* child = new HiNode(options_);
   child->BulkLoad(ids);
-  uint32_t idx = AllocChild(std::move(child));
+  uint32_t idx = AllocChild(child);
   types_.SetRange(ba, ba + bks, SlotType::kChild);
   for (size_t s = ba; s < ba + bks; ++s) {
     slots_[s] = idx;
@@ -201,7 +236,8 @@ void Lia::DetachChild(size_t b, uint32_t child) {
   for (size_t bb = lo; bb <= hi; ++bb) {
     types_.SetRange(bb * bks, (bb + 1) * bks, SlotType::kUnused);
   }
-  children_[child].reset();
+  children_[child]->Unref();
+  children_[child] = nullptr;
   // Recycle the slot: without this, churn that repeatedly drains and
   // refills a block grows children_ by one dead entry per cycle.
   free_children_.push_back(child);
@@ -213,7 +249,7 @@ bool Lia::Insert(VertexId id) {
   size_t ba = b * options_.block_size;
   if (types_.Get(ba) == SlotType::kChild) {
     uint32_t child = slots_[ba];
-    if (!children_[child]->Insert(id)) {
+    if (!MutableChild(child)->Insert(id)) {
       return false;
     }
     ++size_;
@@ -253,7 +289,7 @@ bool Lia::Delete(VertexId id) {
   size_t bks = options_.block_size;
   if (types_.Get(ba) == SlotType::kChild) {
     uint32_t child = slots_[ba];
-    if (!children_[child]->Delete(id)) {
+    if (!MutableChild(child)->Delete(id)) {
       return false;
     }
     --size_;
@@ -399,6 +435,25 @@ bool Lia::CheckInvariants() const {
 HiNode::HiNode(const Options& options) : options_(options) {}
 
 HiNode::~HiNode() = default;
+
+HiNode* HiNode::CloneShallow() const {
+  HiNode* n = new HiNode(options_);
+  n->kind_ = kind_;
+  n->array_ = array_;
+  if (ria_ != nullptr) {
+    n->ria_ = std::make_unique<Ria>(*ria_);
+  }
+  if (lia_ != nullptr) {
+    n->lia_ = std::unique_ptr<Lia>(new Lia(*lia_, nullptr));
+  }
+  if (cria_ != nullptr) {
+    n->cria_ = std::make_unique<Cria>(*cria_);
+  }
+  if (options_.stats != nullptr) {
+    options_.stats->cow_copies.fetch_add(1, std::memory_order_relaxed);
+  }
+  return n;
+}
 
 void HiNode::BulkLoad(std::span<const VertexId> sorted_ids, bool force_flat) {
   array_.clear();

@@ -18,9 +18,14 @@
 // movement distance of high-degree vertices.
 //
 // Not thread-safe; single writer per instance (one vertex per thread, §5).
+// For MVCC snapshots (DESIGN.md §12) HiNodes carry an intrusive refcount:
+// a pinned snapshot shares subtrees with the live version, and a writer
+// descending into a shared node clones it first (copy-on-write), so every
+// node a snapshot can reach stays immutable until its last reference drops.
 #ifndef SRC_CORE_HITREE_H_
 #define SRC_CORE_HITREE_H_
 
+#include <atomic>
 #include <memory>
 #include <span>
 #include <vector>
@@ -73,11 +78,20 @@ class Lia {
   size_t Predict(VertexId id) const;
   size_t BlockOf(size_t pos) const { return pos / options_.block_size; }
 
+  friend class HiNode;
+  // Shallow-copy clone for COW: scalar state and slot arrays are copied,
+  // children are shared by bumping their refcounts (the writer re-clones a
+  // shared child if and when it descends into it).
+  Lia(const Lia& other, std::nullptr_t share_children_tag);
+
   // Gathers the data ids resident in block b (E and B slots), ascending.
   void GatherBlock(size_t b, std::vector<VertexId>* out) const;
+  // Returns children_[idx], cloning it first if it is shared with a pinned
+  // snapshot, so the caller may mutate the result.
+  HiNode* MutableChild(uint32_t idx);
   // Places `child` in a children_ slot (reusing a detached one if any) and
-  // returns its index.
-  uint32_t AllocChild(std::unique_ptr<HiNode> child);
+  // returns its index. Takes ownership of the reference.
+  uint32_t AllocChild(HiNode* child);
   // Rewrites block b as a packed run of `ids` (B entries) — requires
   // ids.size() <= block_size — or as a child pointer when larger.
   void StoreBlock(size_t b, std::span<const VertexId> ids);
@@ -90,7 +104,9 @@ class Lia {
   TypeVector types_;
   double slope_ = 0.0;
   double intercept_ = 0.0;
-  std::vector<std::unique_ptr<HiNode>> children_;
+  // Raw refcounted pointers (Ref/Unref), not unique_ptr: COW clones of this
+  // Lia share children with the original until a writer descends into one.
+  std::vector<HiNode*> children_;
   // Indices of children_ slots vacated by DetachChild, reused by AllocChild
   // so delete/insert churn cannot grow children_ without bound.
   std::vector<uint32_t> free_children_;
@@ -110,6 +126,24 @@ class HiNode {
 
   HiNode(const HiNode&) = delete;
   HiNode& operator=(const HiNode&) = delete;
+
+  // Intrusive refcount for MVCC sharing. A fresh node starts at one
+  // reference; Unref deletes at zero. Shared() means a snapshot (or a
+  // pre-image chain) still holds the node, so it must not be mutated in
+  // place — clone it first.
+  void Ref() const { refs_.fetch_add(1, std::memory_order_relaxed); }
+  void Unref() const {
+    if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      delete this;
+    }
+  }
+  bool Shared() const { return refs_.load(std::memory_order_acquire) > 1; }
+
+  // Copy-on-write clone: scalar state and leaf payloads are deep-copied
+  // (including the Cria's single [anchors|meta|payload] allocation, so the
+  // clone never aliases the live bytes); a Lia's children are shared by
+  // refcount. Counts into CoreStats::cow_copies.
+  HiNode* CloneShallow() const;
 
   // Rebuilds from sorted unique ids, choosing the representation by size.
   // `force_flat` pins the node to RIA even above M (used to break model
@@ -193,6 +227,7 @@ class HiNode {
   std::unique_ptr<Ria> ria_;
   std::unique_ptr<Lia> lia_;
   std::unique_ptr<Cria> cria_;
+  mutable std::atomic<uint32_t> refs_{1};
 };
 
 template <typename F>

@@ -3,20 +3,41 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <utility>
 
 #include "src/util/sort.h"
 
 namespace lsg {
 
+namespace {
+// Staging buffers for the snapshot read path, pooled per thread. Taken by
+// move so a nested snapshot read (a kernel reading one snapshot inside a
+// callback reading another) gets its own buffer instead of aliasing.
+thread_local std::vector<std::vector<VertexId>> scratch_pool;  // NOLINT
+}  // namespace
+
 LSGraph::LSGraph(VertexId num_vertices, Options options, ThreadPool* pool)
-    : options_(options), blocks_(num_vertices), pool_(pool) {
+    : options_(options),
+      blocks_(num_vertices),
+      pool_(pool),
+      vseq_(num_vertices),
+      chains_(num_vertices) {
   // Wire every structure this engine creates to its shared counters.
   options_.stats = &stats_;
 }
 
 LSGraph::~LSGraph() {
+  // Contract: every snapshot was released before destruction, so no pins
+  // remain and pruning retires every chain node. Drain then runs the
+  // deferred frees (no readers can be inside an epoch guard for this
+  // engine any more), and the live tails drop their last reference.
+  assert(stats_.snapshots_live.load(std::memory_order_relaxed) == 0);
+  PruneChains();
+  EpochManager::Global().Drain();
   for (VertexBlock& vb : blocks_) {
-    delete vb.tail;
+    if (vb.tail != nullptr) {
+      vb.tail->Unref();
+    }
   }
 }
 
@@ -24,15 +45,39 @@ ThreadPool& LSGraph::pool() const {
   return pool_ != nullptr ? *pool_ : ThreadPool::Global();
 }
 
+VertexId LSGraph::AddVertices(VertexId count) {
+  std::lock_guard<std::mutex> gate(writer_mu_);
+  VertexId first = num_vertices();
+  blocks_.resize(blocks_.size() + count);
+  vseq_.resize(blocks_.size());
+  chains_.resize(blocks_.size());
+  return first;
+}
+
 void LSGraph::BuildFromEdges(std::vector<Edge> edges) {
-  // Rebuild-in-place: release every existing tail and clear the inline runs
-  // first. Overwriting vb.tail without this leaked the old HiNode, and
-  // vertices absent from the new edge list kept their stale adjacency.
-  pool().ParallelFor(0, blocks_.size(), [this](size_t v) {
-    delete blocks_[v].tail;
-    blocks_[v] = VertexBlock{};
-  });
-  num_edges_ = 0;
+  std::lock_guard<std::mutex> gate(writer_mu_);
+  const MutationCtx mv = BeginUnit();
+  if (!mv.cow) {
+    // Rebuild-in-place: release every existing tail and clear the inline
+    // runs first. Overwriting vb.tail without this leaked the old HiNode,
+    // and vertices absent from the new edge list kept their stale
+    // adjacency.
+    pool().ParallelFor(0, blocks_.size(), [this](size_t v) {
+      if (blocks_[v].tail != nullptr) {
+        blocks_[v].tail->Unref();
+      }
+      blocks_[v] = VertexBlock{};
+    });
+  } else {
+    // Snapshots are pinned: publish the clear as a versioned mutation so
+    // each vertex's pre-image lands on its chain. Vertices that were
+    // already empty (and chainless) publish without preserving anything.
+    pool().ParallelFor(0, blocks_.size(), [this, &mv](size_t v) {
+      VertexBlock empty{};
+      CowPublish(static_cast<VertexId>(v), empty, mv);
+    });
+  }
+  num_edges_.store(0, std::memory_order_relaxed);
   oob_rejected_.fetch_add(RemoveOutOfRangeEdges(&edges, num_vertices()),
                           std::memory_order_relaxed);
   PreparedBatch pb = PrepareBatch(std::move(edges), pool());
@@ -41,9 +86,10 @@ void LSGraph::BuildFromEdges(std::vector<Edge> edges) {
     size_t begin = pb.group_begin(g);
     size_t end = pb.group_end(g);
     VertexId v = sorted[begin].src;
-    VertexBlock& vb = blocks_[v];
     size_t deg = end - begin;
     size_t inl = std::min<size_t>(deg, kInlineCap);
+    VertexBlock work{};
+    VertexBlock& vb = mv.cow ? work : blocks_[v];
     for (size_t i = 0; i < inl; ++i) {
       vb.inline_edges[i] = sorted[begin + i].dst;
     }
@@ -58,8 +104,15 @@ void LSGraph::BuildFromEdges(std::vector<Edge> edges) {
       vb.tail = new HiNode(options_);
       vb.tail->BulkLoad(tail_ids);
     }
+    if (mv.cow) {
+      // The phase-1 clear already stamped version w and preserved the real
+      // pre-image, so this second publish replaces empty state: nothing
+      // further is preserved or retired.
+      CowPublish(v, work, mv);
+    }
   });
-  num_edges_ = sorted.size();
+  num_edges_.store(sorted.size(), std::memory_order_relaxed);
+  EndUnit(mv);
 }
 
 bool LSGraph::InsertIntoVertex(VertexBlock& vb, VertexId dst) {
@@ -144,7 +197,7 @@ void LSGraph::RebuildVertex(VertexBlock& vb, std::span<const VertexId> ids) {
     }
     vb.tail->BulkLoad(ids.subspan(inl));
   } else if (vb.tail != nullptr) {
-    delete vb.tail;
+    vb.tail->Unref();
     vb.tail = nullptr;
   }
 }
@@ -234,11 +287,21 @@ bool LSGraph::InsertEdge(VertexId src, VertexId dst) {
     oob_rejected_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  if (InsertIntoVertex(blocks_[src], dst)) {
-    ++num_edges_;
-    return true;
+  std::lock_guard<std::mutex> gate(writer_mu_);
+  const MutationCtx mv = BeginUnit();
+  bool inserted;
+  if (mv.cow) {
+    VertexBlock work = CowBegin(src);
+    inserted = InsertIntoVertex(work, dst);
+    CowPublish(src, work, mv);
+  } else {
+    inserted = InsertIntoVertex(blocks_[src], dst);
   }
-  return false;
+  if (inserted) {
+    num_edges_.fetch_add(1, std::memory_order_relaxed);
+  }
+  EndUnit(mv);
+  return inserted;
 }
 
 bool LSGraph::DeleteEdge(VertexId src, VertexId dst) {
@@ -246,11 +309,21 @@ bool LSGraph::DeleteEdge(VertexId src, VertexId dst) {
     oob_rejected_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  if (DeleteFromVertex(blocks_[src], dst)) {
-    --num_edges_;
-    return true;
+  std::lock_guard<std::mutex> gate(writer_mu_);
+  const MutationCtx mv = BeginUnit();
+  bool removed;
+  if (mv.cow) {
+    VertexBlock work = CowBegin(src);
+    removed = DeleteFromVertex(work, dst);
+    CowPublish(src, work, mv);
+  } else {
+    removed = DeleteFromVertex(blocks_[src], dst);
   }
-  return false;
+  if (removed) {
+    num_edges_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  EndUnit(mv);
+  return removed;
 }
 
 bool LSGraph::HasEdge(VertexId src, VertexId dst) const {
@@ -266,11 +339,20 @@ bool LSGraph::HasEdge(VertexId src, VertexId dst) const {
 }
 
 size_t LSGraph::InsertBatch(std::span<const Edge> batch) {
-  return InsertPrepared(
-      PrepareBatch(std::vector<Edge>(batch.begin(), batch.end()), pool()));
+  // Sort/dedup outside the gate; only the apply phase excludes snapshots.
+  PreparedBatch pb =
+      PrepareBatch(std::vector<Edge>(batch.begin(), batch.end()), pool());
+  std::lock_guard<std::mutex> gate(writer_mu_);
+  return InsertPreparedLocked(pb);
 }
 
 size_t LSGraph::InsertPrepared(const PreparedBatch& pb) {
+  std::lock_guard<std::mutex> gate(writer_mu_);
+  return InsertPreparedLocked(pb);
+}
+
+size_t LSGraph::InsertPreparedLocked(const PreparedBatch& pb) {
+  const MutationCtx mv = BeginUnit();
   std::atomic<size_t> added{0};
   const VertexId n = num_vertices();
   ForEachGroupLargestFirst(pb, pool(), [&](size_t g) {
@@ -282,7 +364,11 @@ size_t LSGraph::InsertPrepared(const PreparedBatch& pb) {
     }
     size_t local = 0;
     size_t oob = 0;
-    VertexBlock& vb = blocks_[src];
+    VertexBlock work;
+    if (mv.cow) {
+      work = CowBegin(src);
+    }
+    VertexBlock& vb = mv.cow ? work : blocks_[src];
     if (options_.compress_leaves &&
         pb.group_end(g) - pb.group_begin(g) >= kGroupMergeMin) {
       // Recompress the whole run once instead of re-encoding a block per
@@ -298,21 +384,34 @@ size_t LSGraph::InsertPrepared(const PreparedBatch& pb) {
         local += InsertIntoVertex(vb, dst);
       }
     }
+    if (mv.cow) {
+      CowPublish(src, work, mv);
+    }
     if (oob != 0) {
       oob_rejected_.fetch_add(oob, std::memory_order_relaxed);
     }
     added.fetch_add(local, std::memory_order_relaxed);
   });
-  num_edges_ += added.load(std::memory_order_relaxed);
+  num_edges_.fetch_add(added.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  EndUnit(mv);
   return added.load(std::memory_order_relaxed);
 }
 
 size_t LSGraph::DeleteBatch(std::span<const Edge> batch) {
-  return DeletePrepared(
-      PrepareBatch(std::vector<Edge>(batch.begin(), batch.end()), pool()));
+  PreparedBatch pb =
+      PrepareBatch(std::vector<Edge>(batch.begin(), batch.end()), pool());
+  std::lock_guard<std::mutex> gate(writer_mu_);
+  return DeletePreparedLocked(pb);
 }
 
 size_t LSGraph::DeletePrepared(const PreparedBatch& pb) {
+  std::lock_guard<std::mutex> gate(writer_mu_);
+  return DeletePreparedLocked(pb);
+}
+
+size_t LSGraph::DeletePreparedLocked(const PreparedBatch& pb) {
+  const MutationCtx mv = BeginUnit();
   std::atomic<size_t> removed{0};
   const VertexId n = num_vertices();
   ForEachGroupLargestFirst(pb, pool(), [&](size_t g) {
@@ -324,7 +423,11 @@ size_t LSGraph::DeletePrepared(const PreparedBatch& pb) {
     }
     size_t local = 0;
     size_t oob = 0;
-    VertexBlock& vb = blocks_[src];
+    VertexBlock work;
+    if (mv.cow) {
+      work = CowBegin(src);
+    }
+    VertexBlock& vb = mv.cow ? work : blocks_[src];
     if (options_.compress_leaves &&
         pb.group_end(g) - pb.group_begin(g) >= kGroupMergeMin) {
       local = DeleteGroupFromVertex(vb, pb, g, &oob);
@@ -338,16 +441,317 @@ size_t LSGraph::DeletePrepared(const PreparedBatch& pb) {
         local += DeleteFromVertex(vb, dst);
       }
     }
+    if (mv.cow) {
+      CowPublish(src, work, mv);
+    }
     if (oob != 0) {
       oob_rejected_.fetch_add(oob, std::memory_order_relaxed);
     }
     removed.fetch_add(local, std::memory_order_relaxed);
   });
-  num_edges_ -= removed.load(std::memory_order_relaxed);
+  num_edges_.fetch_sub(removed.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  EndUnit(mv);
   return removed.load(std::memory_order_relaxed);
 }
 
+// --- MVCC internals ---
+
+LSGraph::MutationCtx LSGraph::BeginUnit() {
+  MutationCtx mv;
+  mv.w = ++version_;
+  std::lock_guard<std::mutex> reg(snap_mu_);
+  if (!pinned_.empty()) {
+    mv.cow = true;
+    mv.newest_pinned = *pinned_.rbegin();
+  }
+  return mv;
+}
+
+LSGraph::VertexBlock LSGraph::CowBegin(VertexId v) const {
+  const VertexBlock& slot = blocks_[v];
+  VertexBlock work;
+  work.degree = slot.degree;
+  work.inline_count = slot.inline_count;
+  std::copy(slot.inline_edges, slot.inline_edges + kInlineCap,
+            work.inline_edges);
+  work.tail = slot.tail != nullptr ? slot.tail->CloneShallow() : nullptr;
+  return work;
+}
+
+void LSGraph::CowPublish(VertexId v, const VertexBlock& work,
+                         const MutationCtx& mv) {
+  VertexBlock& slot = blocks_[v];
+  uint64_t old_vseq = vseq_[v].v.load(std::memory_order_relaxed);
+  HiNode* old_tail = slot.tail;
+  VertexVersion* prior_head = chains_[v].head.load(std::memory_order_relaxed);
+  bool state_exists =
+      slot.degree != 0 || old_tail != nullptr || prior_head != nullptr;
+  if (mv.newest_pinned >= old_vseq && state_exists) {
+    // A pinned snapshot can still read the pre-image: freeze it on the
+    // chain. The node takes over the live tail reference.
+    auto* node = new VertexVersion;
+    node->vseq = old_vseq;
+    node->degree = slot.degree;
+    node->inline_count = slot.inline_count;
+    std::copy(slot.inline_edges, slot.inline_edges + kInlineCap,
+              node->inline_edges);
+    node->tail = old_tail;
+    node->older.store(prior_head, std::memory_order_relaxed);
+    chains_[v].head.store(node, std::memory_order_release);
+    if (prior_head == nullptr) {
+      RecordChained(v);
+    }
+  } else if (old_tail != nullptr) {
+    // No snapshot can reach the pre-image, but an in-flight reader may
+    // still be traversing the old tail: free through the epoch reclaimer.
+    RetireTail(old_tail);
+  }
+  // Publish order (DESIGN.md §12): stamp the version first — a reader that
+  // loads the new stamp diverts to the chain, where the pre-image above is
+  // already visible (release store) — then the fields. A reader that
+  // accepted the old stamp re-validates after staging and discards torn
+  // field reads on mismatch.
+  vseq_[v].v.store(mv.w, std::memory_order_release);
+  std::atomic_thread_fence(std::memory_order_release);
+  std::atomic_ref<uint32_t>(slot.degree)
+      .store(work.degree, std::memory_order_relaxed);
+  std::atomic_ref<uint32_t>(slot.inline_count)
+      .store(work.inline_count, std::memory_order_relaxed);
+  for (size_t i = 0; i < kInlineCap; ++i) {
+    std::atomic_ref<VertexId>(slot.inline_edges[i])
+        .store(work.inline_edges[i], std::memory_order_relaxed);
+  }
+  std::atomic_ref<HiNode*>(slot.tail)
+      .store(work.tail, std::memory_order_release);
+}
+
+void LSGraph::RecordChained(VertexId v) {
+  std::lock_guard<std::mutex> lock(chained_mu_);
+  chained_.push_back(v);
+}
+
+void LSGraph::RetireTail(HiNode* tail) {
+  stats_.deferred_frees.fetch_add(1, std::memory_order_relaxed);
+  EpochManager::Global().Retire(
+      tail, [](void* p) { static_cast<HiNode*>(p)->Unref(); });
+}
+
+void LSGraph::PruneChains() {
+  std::vector<uint64_t> pins;
+  {
+    std::lock_guard<std::mutex> reg(snap_mu_);
+    pins.assign(pinned_.begin(), pinned_.end());
+  }
+  std::lock_guard<std::mutex> lock(chained_mu_);
+  for (size_t i = 0; i < chained_.size();) {
+    VertexId v = chained_[i];
+    VertexVersion* node = chains_[v].head.load(std::memory_order_relaxed);
+    // A chain node covers snapshot versions S with node->vseq <= S < upper,
+    // where upper is the vseq of the next-newer state. Keep it iff a pin
+    // falls in that window; drop it otherwise. Dropped nodes are epoch-
+    // retired with their fields intact, because an in-flight reader may be
+    // walking through them right now — only kept nodes are relinked.
+    uint64_t upper = vseq_[v].v.load(std::memory_order_relaxed);
+    VertexVersion* new_head = nullptr;
+    VertexVersion* kept_prev = nullptr;
+    while (node != nullptr) {
+      VertexVersion* older = node->older.load(std::memory_order_relaxed);
+      auto it = std::lower_bound(pins.begin(), pins.end(), node->vseq);
+      bool needed = it != pins.end() && *it < upper;
+      if (needed) {
+        if (kept_prev != nullptr) {
+          kept_prev->older.store(node, std::memory_order_release);
+        } else {
+          new_head = node;
+        }
+        kept_prev = node;
+        upper = node->vseq;
+      } else {
+        stats_.deferred_frees.fetch_add(1, std::memory_order_relaxed);
+        EpochManager::Global().Retire(node, [](void* p) {
+          auto* n = static_cast<VertexVersion*>(p);
+          if (n->tail != nullptr) {
+            n->tail->Unref();
+          }
+          delete n;
+        });
+      }
+      node = older;
+    }
+    if (kept_prev != nullptr) {
+      kept_prev->older.store(nullptr, std::memory_order_release);
+    }
+    chains_[v].head.store(new_head, std::memory_order_release);
+    if (new_head != nullptr) {
+      ++i;
+    } else {
+      chained_[i] = chained_.back();
+      chained_.pop_back();
+    }
+  }
+}
+
+void LSGraph::EndUnit(const MutationCtx& mv) {
+  // chained_ is only mutated under the writer gate (held here), so the
+  // unlocked emptiness probe is safe; it keeps the never-snapshotted path
+  // free of any extra locking.
+  if (mv.cow || !chained_.empty()) {
+    PruneChains();
+    EpochManager::Global().TryReclaim();
+  }
+}
+
+std::shared_ptr<const GraphSnapshot> LSGraph::Snapshot() const {
+  std::lock_guard<std::mutex> gate(writer_mu_);
+  uint64_t ver = version_;
+  VertexId nv = num_vertices();
+  EdgeCount ne = num_edges();
+  {
+    std::lock_guard<std::mutex> reg(snap_mu_);
+    pinned_.insert(ver);
+  }
+  stats_.snapshots_live.fetch_add(1, std::memory_order_relaxed);
+  return std::shared_ptr<const GraphSnapshot>(
+      new GraphSnapshot(this, ver, nv, ne));
+}
+
+void LSGraph::ReleaseSnapshotVersion(uint64_t version) const {
+  {
+    std::lock_guard<std::mutex> reg(snap_mu_);
+    auto it = pinned_.find(version);
+    assert(it != pinned_.end());
+    pinned_.erase(it);
+  }
+  stats_.snapshots_live.fetch_sub(1, std::memory_order_relaxed);
+  // Opportunistic reclamation. If an update batch holds the gate, skipping
+  // is safe: the writer prunes at its next batch boundary.
+  LSGraph* self = const_cast<LSGraph*>(this);
+  if (self->writer_mu_.try_lock()) {
+    std::lock_guard<std::mutex> gate(self->writer_mu_, std::adopt_lock);
+    self->PruneChains();
+    EpochManager::Global().TryReclaim();
+  }
+}
+
+bool LSGraph::StageLive(VertexId v, uint64_t s1,
+                        std::vector<VertexId>* out) const {
+  // Tear-proof staging of the live block: atomic field reads, then a
+  // version re-check. atomic_ref needs non-const lvalues; the loads do not
+  // mutate.
+  VertexBlock& slot = const_cast<VertexBlock&>(blocks_[v]);
+  uint32_t ic = std::atomic_ref<uint32_t>(slot.inline_count)
+                    .load(std::memory_order_relaxed);
+  if (ic > kInlineCap) {
+    return false;  // torn metadata; the chain has the consistent state
+  }
+  for (uint32_t i = 0; i < ic; ++i) {
+    out->push_back(std::atomic_ref<VertexId>(slot.inline_edges[i])
+                       .load(std::memory_order_relaxed));
+  }
+  HiNode* tail =
+      std::atomic_ref<HiNode*>(slot.tail).load(std::memory_order_acquire);
+  if (tail != nullptr) {
+    tail->Map([out](VertexId u) { out->push_back(u); });
+  }
+  // The acquire fence keeps the staging loads above the validation load;
+  // on mismatch the caller falls back to the chain, whose head the writer
+  // release-published before moving the stamp.
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (vseq_[v].v.load(std::memory_order_acquire) != s1) {
+    out->clear();
+    return false;
+  }
+  return true;
+}
+
+size_t LSGraph::SnapshotDegree(uint64_t snap, VertexId v) const {
+  EpochManager::Guard guard;
+  uint64_t s1 = vseq_[v].v.load(std::memory_order_acquire);
+  if (s1 <= snap) {
+    VertexBlock& slot = const_cast<VertexBlock&>(blocks_[v]);
+    uint32_t d =
+        std::atomic_ref<uint32_t>(slot.degree).load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (vseq_[v].v.load(std::memory_order_acquire) == s1) {
+      return d;
+    }
+  }
+  const VertexVersion* node = FindVersion(snap, v);
+  return node != nullptr ? node->degree : 0;
+}
+
+bool LSGraph::SnapshotHasEdge(uint64_t snap, VertexId src,
+                              VertexId dst) const {
+  EpochManager::Guard guard;
+  uint64_t s1 = vseq_[src].v.load(std::memory_order_acquire);
+  if (s1 <= snap) {
+    VertexBlock& slot = const_cast<VertexBlock&>(blocks_[src]);
+    uint32_t ic = std::atomic_ref<uint32_t>(slot.inline_count)
+                      .load(std::memory_order_relaxed);
+    if (ic <= kInlineCap) {
+      bool found = false;
+      for (uint32_t i = 0; i < ic && !found; ++i) {
+        found = std::atomic_ref<VertexId>(slot.inline_edges[i])
+                    .load(std::memory_order_relaxed) == dst;
+      }
+      HiNode* tail =
+          std::atomic_ref<HiNode*>(slot.tail).load(std::memory_order_acquire);
+      if (!found && tail != nullptr) {
+        found = tail->Contains(dst);
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (vseq_[src].v.load(std::memory_order_acquire) == s1) {
+        return found;
+      }
+    }
+  }
+  const VertexVersion* node = FindVersion(snap, src);
+  if (node == nullptr) {
+    return false;
+  }
+  for (uint32_t i = 0; i < node->inline_count; ++i) {
+    if (node->inline_edges[i] == dst) {
+      return true;
+    }
+  }
+  return node->tail != nullptr && node->tail->Contains(dst);
+}
+
+const LSGraph::VertexVersion* LSGraph::FindVersion(uint64_t snap,
+                                                   VertexId v) const {
+  // Newest-first walk: the first node with vseq <= snap is the state that
+  // was live when `snap` was pinned. Null means the vertex was empty at
+  // that version (publishing skips preserving empty chainless state).
+  const VertexVersion* node = chains_[v].head.load(std::memory_order_acquire);
+  while (node != nullptr && node->vseq > snap) {
+    node = node->older.load(std::memory_order_acquire);
+  }
+  return node;
+}
+
+std::vector<VertexId> LSGraph::TakeScratch() {
+  if (scratch_pool.empty()) {
+    return {};
+  }
+  std::vector<VertexId> s = std::move(scratch_pool.back());
+  scratch_pool.pop_back();
+  s.clear();
+  return s;
+}
+
+void LSGraph::ReturnScratch(std::vector<VertexId> scratch) {
+  if (scratch_pool.size() < 4) {
+    scratch_pool.push_back(std::move(scratch));
+  }
+}
+
+// --- End MVCC internals ---
+
 size_t LSGraph::memory_footprint() const {
+  // Adjacency structures only: the fixed 16 bytes/vertex of MVCC metadata
+  // (vseq_ + chains_) is excluded so the bytes/edge telemetry stays
+  // comparable across snapshot and non-snapshot configurations.
   size_t total = blocks_.capacity() * sizeof(VertexBlock);
   for (const VertexBlock& vb : blocks_) {
     if (vb.tail != nullptr) {
@@ -416,7 +820,7 @@ bool LSGraph::CheckInvariants() const {
     }
     total += vb.degree;
   }
-  return total == num_edges_;
+  return total == num_edges();
 }
 
 }  // namespace lsg

@@ -49,6 +49,15 @@ struct CoreStats {
   std::atomic<uint64_t> edgemap_pull_rounds{0};
   std::atomic<uint64_t> edgemap_push_rounds{0};
 
+  // MVCC snapshot instrumentation (DESIGN.md §12). snapshots_live is a
+  // gauge of currently pinned Snapshot() handles. cow_copies counts
+  // HiNode-level copy-on-write clones taken because a pinned snapshot could
+  // still observe the node. deferred_frees counts retired structures handed
+  // to the epoch reclaimer instead of freed inline.
+  std::atomic<uint64_t> snapshots_live{0};
+  std::atomic<uint64_t> cow_copies{0};
+  std::atomic<uint64_t> deferred_frees{0};
+
   void Clear() {
     ria_to_hitree_conversions = 0;
     ria_expansions = 0;
@@ -64,6 +73,9 @@ struct CoreStats {
     pull_early_exits = 0;
     edgemap_pull_rounds = 0;
     edgemap_push_rounds = 0;
+    snapshots_live = 0;
+    cow_copies = 0;
+    deferred_frees = 0;
   }
 };
 

@@ -240,6 +240,14 @@ inline LoadedGraph LoadLsgbin(const std::string& path,
   }
   const uint8_t* payload = base + kHeaderBytes + table_bytes;
   const size_t payload_bytes = file.size() - kHeaderBytes - table_bytes;
+  // Bound the header counts by what the payload could possibly encode
+  // (every vertex costs at least its one-byte degree varint, every edge at
+  // least a one-byte delta) BEFORE sizing any allocation from them. A
+  // crafted header can otherwise request a multi-exabyte edges.resize()
+  // while still matching its own range-table sentinel.
+  if (num_vertices > payload_bytes || num_edges > payload_bytes) {
+    throw std::runtime_error("header counts exceed file size: " + path);
+  }
 
   auto range = [&](size_t i) {
     const uint8_t* p = base + kHeaderBytes + i * 3 * 8;

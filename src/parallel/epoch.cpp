@@ -1,0 +1,147 @@
+#include "src/parallel/epoch.h"
+
+namespace lsg {
+
+namespace {
+
+// Retire batches this many items between opportunistic reclaim attempts so
+// a writer that never reaches an explicit quiescent point still bounds the
+// limbo list.
+constexpr size_t kReclaimEvery = 1024;
+
+}  // namespace
+
+// Per-thread epoch slot handle. The destructor runs at thread exit and
+// returns the slot to the registry for reuse, so short-lived pool threads
+// cannot grow the slot list without bound.
+struct EpochThreadRec {
+  EpochManager::Slot* slot = nullptr;
+  uint32_t depth = 0;
+
+  ~EpochThreadRec() {
+    if (slot != nullptr) {
+      EpochManager::Global().ReleaseSlot(slot);
+      slot = nullptr;
+    }
+  }
+
+  static EpochThreadRec& Get() {
+    thread_local EpochThreadRec rec;
+    return rec;
+  }
+};
+
+EpochManager& EpochManager::Global() {
+  static EpochManager* mgr = new EpochManager();  // never destroyed
+  return *mgr;
+}
+
+EpochManager::Slot* EpochManager::AcquireSlot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& s : slots_) {
+    if (!s->in_use) {
+      s->in_use = true;
+      return s.get();
+    }
+  }
+  slots_.push_back(std::make_unique<Slot>());
+  slots_.back()->in_use = true;
+  return slots_.back().get();
+}
+
+void EpochManager::ReleaseSlot(Slot* slot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slot->epoch.store(kIdle, std::memory_order_release);
+  slot->in_use = false;
+}
+
+EpochManager::Guard::Guard() {
+  EpochThreadRec& rec = EpochThreadRec::Get();
+  if (rec.depth++ != 0) {
+    return;  // already pinned by an enclosing guard
+  }
+  EpochManager& mgr = Global();
+  if (rec.slot == nullptr) {
+    rec.slot = mgr.AcquireSlot();
+  }
+  rec.slot->epoch.store(mgr.global_epoch_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  // Orders the pin before every pointer load under the guard, pairing with
+  // the fence in Retire (the seqlock-style visibility argument of EBR).
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+EpochManager::Guard::~Guard() {
+  EpochThreadRec& rec = EpochThreadRec::Get();
+  if (--rec.depth == 0) {
+    rec.slot->epoch.store(kIdle, std::memory_order_release);
+  }
+}
+
+void EpochManager::Retire(void* ptr, Deleter deleter) {
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  std::lock_guard<std::mutex> lock(mu_);
+  limbo_.push_back(
+      {global_epoch_.load(std::memory_order_relaxed), ptr, deleter});
+  if (limbo_.size() % kReclaimEvery == 0) {
+    TryAdvanceLocked();
+    ReclaimLocked();
+  }
+}
+
+bool EpochManager::TryAdvanceLocked() {
+  uint64_t g = global_epoch_.load(std::memory_order_relaxed);
+  for (const auto& s : slots_) {
+    uint64_t e = s->epoch.load(std::memory_order_acquire);
+    if (e != kIdle && e != g) {
+      return false;  // a pinned reader has not observed the current epoch
+    }
+  }
+  global_epoch_.store(g + 1, std::memory_order_seq_cst);
+  return true;
+}
+
+size_t EpochManager::ReclaimLocked() {
+  uint64_t g = global_epoch_.load(std::memory_order_relaxed);
+  size_t freed = 0;
+  size_t kept = 0;
+  for (size_t i = 0; i < limbo_.size(); ++i) {
+    // Two full epoch turns guarantee every reader that could have loaded
+    // the pointer has since unpinned.
+    if (limbo_[i].epoch + 2 <= g) {
+      limbo_[i].deleter(limbo_[i].ptr);
+      ++freed;
+    } else {
+      limbo_[kept++] = limbo_[i];
+    }
+  }
+  limbo_.resize(kept);
+  return freed;
+}
+
+size_t EpochManager::TryReclaim() {
+  std::lock_guard<std::mutex> lock(mu_);
+  TryAdvanceLocked();
+  return ReclaimLocked();
+}
+
+size_t EpochManager::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t freed = 0;
+  while (!limbo_.empty()) {
+    bool advanced = TryAdvanceLocked();
+    size_t n = ReclaimLocked();
+    freed += n;
+    if (!advanced && n == 0) {
+      break;  // pinned readers block further progress
+    }
+  }
+  return freed;
+}
+
+size_t EpochManager::limbo_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return limbo_.size();
+}
+
+}  // namespace lsg

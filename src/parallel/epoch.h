@@ -1,0 +1,97 @@
+// Epoch-based grace-period reclamation for the MVCC read path (DESIGN.md
+// §12). Writers never free a structure a concurrent snapshot reader might
+// still be traversing; they Retire() it instead. Readers wrap every
+// traversal in a Guard, which pins the thread's epoch slot at the current
+// global epoch. A retired item is freed only after the global epoch has
+// advanced twice past its retirement epoch — and the epoch can only advance
+// once every pinned slot has observed the current one — so by the time an
+// item is freed, every reader that could have loaded a pointer to it has
+// unpinned (the classic Fraser scheme).
+//
+// The read path takes no locks: Guard is two relaxed stores and one fence.
+// Retire/TryReclaim take a mutex, but they run on writer threads (batch
+// boundaries, snapshot release, destruction), never under a reader.
+#ifndef SRC_PARALLEL_EPOCH_H_
+#define SRC_PARALLEL_EPOCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace lsg {
+
+class EpochManager {
+ public:
+  using Deleter = void (*)(void*);
+
+  // Process-wide instance: epoch slots are per OS thread, not per engine,
+  // so one registry serves every graph.
+  static EpochManager& Global();
+
+  // Pins the calling thread at the current epoch for its lifetime. Cheap
+  // and re-entrant (nested guards keep the outermost pin).
+  class Guard {
+   public:
+    Guard();
+    ~Guard();
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+  };
+
+  // Defers `deleter(ptr)` until no reader pinned at or before the current
+  // epoch can remain. Never runs the deleter inline.
+  void Retire(void* ptr, Deleter deleter);
+
+  // Advances the epoch if every pinned thread has caught up, then frees
+  // every retired item whose grace period has elapsed. Returns the number
+  // of items freed. Called at quiescent points (batch boundaries, snapshot
+  // release); never on the read path.
+  size_t TryReclaim();
+
+  // TryReclaim in a loop until the limbo list is empty or pinned readers
+  // block further epoch advances. With no readers pinned this frees
+  // everything (used at engine destruction).
+  size_t Drain();
+
+  size_t limbo_size() const;
+  uint64_t epoch() const {
+    return global_epoch_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr uint64_t kIdle = ~uint64_t{0};
+
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> epoch{kIdle};
+    bool in_use = false;  // guarded by mu_
+  };
+
+  struct Retired {
+    uint64_t epoch;
+    void* ptr;
+    Deleter deleter;
+  };
+
+  EpochManager() = default;
+
+  Slot* AcquireSlot();
+  void ReleaseSlot(Slot* slot);
+  // Both require mu_ held.
+  bool TryAdvanceLocked();
+  size_t ReclaimLocked();
+
+  friend struct EpochThreadRec;
+
+  std::atomic<uint64_t> global_epoch_{0};
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Slot>> slots_;  // stable addresses; reused
+  std::vector<Retired> limbo_;
+};
+
+}  // namespace lsg
+
+#endif  // SRC_PARALLEL_EPOCH_H_

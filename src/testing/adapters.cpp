@@ -104,12 +104,30 @@ class ReferenceAdapter : public EngineAdapter {
 
   bool CheckInvariants() const override { return true; }
 
+  // Pin = deep copy: the canonical frozen state later pins are diffed
+  // against.
+  bool SupportsPin() const override { return true; }
+  size_t NumPins() const override { return pins_.size(); }
+  void Pin() override { pins_.push_back(adj_); }
+  void ReleasePin() override { pins_.pop_back(); }
+  VertexId PinnedNumVertices() const override {
+    return static_cast<VertexId>(pins_.back().size());
+  }
+  std::vector<VertexId> PinnedNeighbors(VertexId v) const override {
+    const auto& adj = pins_.back();
+    if (v >= adj.size()) {
+      return {};
+    }
+    return {adj[v].begin(), adj[v].end()};
+  }
+
  private:
   bool OutOfRange(VertexId src, VertexId dst) const {
     return src >= NumVertices() || dst >= NumVertices();
   }
 
   std::vector<std::set<VertexId>> adj_;
+  std::vector<std::vector<std::set<VertexId>>> pins_;
   uint64_t oob_rejected_ = 0;
 };
 
@@ -189,8 +207,26 @@ class LSGraphAdapter : public GraphAdapter<LSGraph> {
     return fresh.memory_footprint();
   }
 
+  // Pin = a real MVCC snapshot of the engine, compared against the
+  // oracle's deep copy at every 'R' op.
+  bool SupportsPin() const override { return true; }
+  size_t NumPins() const override { return pins_.size(); }
+  void Pin() override { pins_.push_back(graph().Snapshot()); }
+  void ReleasePin() override { pins_.pop_back(); }
+  VertexId PinnedNumVertices() const override {
+    return pins_.back()->num_vertices();
+  }
+  std::vector<VertexId> PinnedNeighbors(VertexId v) const override {
+    std::vector<VertexId> out;
+    pins_.back()->map_neighbors(v, [&out](VertexId u) { out.push_back(u); });
+    return out;
+  }
+
  private:
   ThreadPool* pool_;
+  // Declared after the base's engine member, so pins release before the
+  // engine destructs (snapshots must not outlive their engine).
+  std::vector<std::shared_ptr<const GraphSnapshot>> pins_;
 };
 
 // Deterministically buggy oracle wrapper for harness self-tests.

@@ -41,6 +41,19 @@ class EngineAdapter {
 
   virtual bool CheckInvariants() const = 0;
 
+  // Snapshot-pin hooks (trace ops 'P'/'R'). Pins form a stack; the Pinned*
+  // probes read the newest pin. Engines without snapshot support keep the
+  // defaults and the runner skips them in pinned-state comparisons. The
+  // oracle pins by deep-copying its state, LSGraph by a real Snapshot(),
+  // so a 'R' compare proves the pinned view never moved while later trace
+  // ops mutated the live graph.
+  virtual bool SupportsPin() const { return false; }
+  virtual size_t NumPins() const { return 0; }
+  virtual void Pin() {}
+  virtual void ReleasePin() {}
+  virtual VertexId PinnedNumVertices() const { return 0; }
+  virtual std::vector<VertexId> PinnedNeighbors(VertexId) const { return {}; }
+
   // Memory-accounting audit hooks. LiveFootprint() is the engine's current
   // self-reported footprint; FreshFootprint() builds a throwaway engine of
   // the same shape from the current edge set and reports its footprint.

@@ -91,6 +91,13 @@ class Runner {
     if (Audit(trace_.ops.size())) {
       return result_;
     }
+    // Traces need not balance their pins; drain (and check) the leftovers
+    // so a pin held to end-of-trace is still compared once.
+    while (oracle().NumPins() != 0) {
+      if (Release(trace_.ops.size())) {
+        return result_;
+      }
+    }
     return Divergence{};
   }
 
@@ -184,6 +191,54 @@ class Runner {
         return CompareAll<std::vector<VertexId>>(
             idx, "component labels",
             [](EngineAdapter& a) { return ComponentLabels(a); });
+      case TraceOpKind::kPin:
+        for (auto& a : adapters_) {
+          if (a->SupportsPin()) {
+            a->Pin();
+          }
+        }
+        return false;
+      case TraceOpKind::kRelease:
+        if (oracle().NumPins() == 0) {
+          return false;  // unbalanced release is a no-op by policy
+        }
+        return Release(idx);
+    }
+    return false;
+  }
+
+  // Compares the newest pinned view of every snapshot-capable engine
+  // against the oracle's frozen copy, then pops the pin everywhere. The
+  // pinned adjacency must be byte-identical no matter how many mutations
+  // ran after the pin.
+  bool Release(size_t idx) {
+    VertexId n = oracle().PinnedNumVertices();
+    for (size_t i = 1; i < adapters_.size(); ++i) {
+      EngineAdapter& a = *adapters_[i];
+      if (!a.SupportsPin()) {
+        continue;
+      }
+      if (a.PinnedNumVertices() != n) {
+        std::ostringstream msg;
+        msg << "pinned num_vertices mismatch: got " << a.PinnedNumVertices()
+            << ", oracle " << n;
+        return Diverged(idx, a, msg.str());
+      }
+      for (VertexId v = 0; v < n; ++v) {
+        std::vector<VertexId> want = oracle().PinnedNeighbors(v);
+        std::vector<VertexId> got = a.PinnedNeighbors(v);
+        if (got != want) {
+          std::ostringstream msg;
+          msg << "pinned adjacency mismatch at vertex " << v << ": |got| "
+              << got.size() << ", |oracle| " << want.size();
+          return Diverged(idx, a, msg.str());
+        }
+      }
+    }
+    for (auto& a : adapters_) {
+      if (a->SupportsPin()) {
+        a->ReleasePin();
+      }
     }
     return false;
   }

@@ -88,11 +88,27 @@ class TraceBuilder {
     } else if (roll < 900) {
       op.kind = TraceOpKind::kDegree;
       op.u = PickVertex();
-    } else if (roll < 940) {
+    } else if (roll < 920) {
       op.kind = TraceOpKind::kSnapshot;
-    } else if (roll < 970) {
+    } else if (roll < 945) {
+      // Pin a snapshot; cap the nesting so a pin-heavy roll sequence can't
+      // make every later mutation preserve unboundedly many versions.
+      if (pin_depth_ < 4) {
+        op.kind = TraceOpKind::kPin;
+        ++pin_depth_;
+      } else {
+        op.kind = TraceOpKind::kRelease;
+        --pin_depth_;
+      }
+    } else if (roll < 965) {
+      // Releases may be unbalanced (a no-op by runner policy).
+      op.kind = TraceOpKind::kRelease;
+      if (pin_depth_ > 0) {
+        --pin_depth_;
+      }
+    } else if (roll < 980) {
       op.kind = TraceOpKind::kAudit;
-    } else if (roll < 990) {
+    } else if (roll < 992) {
       op.kind = TraceOpKind::kBfs;
       op.u = PickVertex();
     } else {
@@ -105,6 +121,7 @@ class TraceBuilder {
   GeneratorConfig config_;
   Trace trace_;
   VertexId num_vertices_;
+  uint32_t pin_depth_ = 0;
 };
 
 }  // namespace

@@ -35,6 +35,10 @@ char OpChar(TraceOpKind kind) {
       return 'b';
     case TraceOpKind::kComponents:
       return 'k';
+    case TraceOpKind::kPin:
+      return 'P';
+    case TraceOpKind::kRelease:
+      return 'R';
   }
   return '?';
 }
@@ -75,6 +79,8 @@ std::string SerializeTrace(const Trace& trace) {
       case TraceOpKind::kSnapshot:
       case TraceOpKind::kAudit:
       case TraceOpKind::kComponents:
+      case TraceOpKind::kPin:
+      case TraceOpKind::kRelease:
         out << OpChar(op.kind) << '\n';
         break;
     }
@@ -174,6 +180,12 @@ bool ParseTrace(const std::string& text, Trace* out, std::string* error) {
         break;
       case 'k':
         op.kind = TraceOpKind::kComponents;
+        break;
+      case 'P':
+        op.kind = TraceOpKind::kPin;
+        break;
+      case 'R':
+        op.kind = TraceOpKind::kRelease;
         break;
       case 'e':
         return bad("stray edge line outside a batch");

@@ -29,6 +29,8 @@ enum class TraceOpKind : uint8_t {
   kAudit,        // c              invariants + counters (+ memory) audit
   kBfs,          // b source       BFS level compare
   kComponents,   // k              connected-components compare
+  kPin,          // P              pin a snapshot (engines that support it)
+  kRelease,      // R              compare pinned state, release newest pin
 };
 
 struct TraceOp {

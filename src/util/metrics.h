@@ -134,6 +134,9 @@ class MetricRegistry {
         {"bytes_resident", stats.bytes_resident.load()},
         {"neighbors_decoded", stats.neighbors_decoded.load()},
         {"cria_recompressions", stats.cria_recompressions.load()},
+        {"snapshots_live", stats.snapshots_live.load()},
+        {"cow_copies", stats.cow_copies.load()},
+        {"deferred_frees", stats.deferred_frees.load()},
     };
     for (const Counter& c : counters) {
       Add({.dataset = dataset,

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -153,6 +154,42 @@ TEST_F(LsgbinTest, BadMagicIsRejected) {
         }
       },
       std::runtime_error);
+}
+
+TEST_F(LsgbinTest, HugeEdgeCountHeaderIsRejectedBeforeAllocating) {
+  std::string path = TempPath("huge_edges");
+  WriteLsgbin(path, 4, std::vector<Edge>{{0, 1}, {1, 2}}, 1);
+  // Claim ~10^18 edges in a file a few dozen bytes long. The loader used to
+  // size its output vector straight from this count (a multi-exabyte
+  // allocation) before any payload check could run; it must now reject the
+  // header because each edge costs at least one payload byte.
+  Rewrite(path, [](std::vector<uint8_t>* b) {
+    uint64_t huge = uint64_t{1} << 60;
+    std::memcpy(b->data() + 16, &huge, sizeof(huge));
+  });
+  EXPECT_THROW(
+      {
+        try {
+          LoadLsgbin(path);
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("exceed file size"),
+                    std::string::npos);
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST_F(LsgbinTest, HugeVertexCountHeaderIsRejected) {
+  std::string path = TempPath("huge_vertices");
+  WriteLsgbin(path, 4, std::vector<Edge>{{0, 1}}, 1);
+  // A vertex count that passes the id-width check but cannot fit its degree
+  // varints in the payload must be rejected before it sizes anything.
+  Rewrite(path, [](std::vector<uint8_t>* b) {
+    uint64_t huge = uint64_t{1} << 30;
+    std::memcpy(b->data() + 8, &huge, sizeof(huge));
+  });
+  EXPECT_THROW(LoadLsgbin(path), std::runtime_error);
 }
 
 TEST_F(LsgbinTest, CorruptPayloadVarintIsRejected) {

@@ -102,7 +102,7 @@ TEST(MetricsTest, ToJsonSatisfiesSchemaRoundTrip) {
   CoreStats stats;
   stats.ria_expansions.fetch_add(3);
   reg.AddCoreStats("LJ", "LSGraph", stats, "m=64");
-  EXPECT_EQ(reg.num_rows(), 2u + 14u);  // 14 CoreStats counters
+  EXPECT_EQ(reg.num_rows(), 2u + 17u);  // 17 CoreStats counters
 
   std::string text = JsonWrite(reg.ToJson());
   JsonValue back;

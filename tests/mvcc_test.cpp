@@ -1,0 +1,425 @@
+// Epoch-based snapshot isolation tests (DESIGN.md §12): Snapshot() pins an
+// immutable view that analytics read unchanged while update batches land,
+// copy-on-write preserves pre-images per vertex, and the epoch reclaimer
+// frees replaced structures only after readers quiesce. The *Concurrent*
+// tests interleave real reader/writer threads and are the core of the
+// `tsan` label.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/core/engine_concept.h"
+#include "src/core/lsgraph.h"
+#include "src/util/prng.h"
+
+namespace lsg {
+namespace {
+
+// A pinned snapshot is a first-class graph view: EdgeMap and every
+// analytics kernel accept it without change.
+static_assert(GraphView<GraphSnapshot>);
+
+template <typename G>
+std::vector<VertexId> Dump(const G& g, VertexId v) {
+  std::vector<VertexId> out;
+  g.map_neighbors(v, [&out](VertexId u) { out.push_back(u); });
+  return out;
+}
+
+template <typename G>
+std::vector<std::vector<VertexId>> DumpAll(const G& g) {
+  std::vector<std::vector<VertexId>> out(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    out[v] = Dump(g, v);
+  }
+  return out;
+}
+
+template <typename G>
+std::vector<uint32_t> BfsLevels(const G& g, VertexId source) {
+  constexpr uint32_t kUnreached = ~uint32_t{0};
+  std::vector<uint32_t> level(g.num_vertices(), kUnreached);
+  std::deque<VertexId> queue{source};
+  level[source] = 0;
+  while (!queue.empty()) {
+    VertexId u = queue.front();
+    queue.pop_front();
+    g.map_neighbors(u, [&](VertexId v) {
+      if (level[v] == kUnreached) {
+        level[v] = level[u] + 1;
+        queue.push_back(v);
+      }
+    });
+  }
+  return level;
+}
+
+std::vector<Edge> RandomEdges(uint64_t seed, VertexId n, size_t count) {
+  SplitMix64 rng(MixSeed(seed, 1));
+  std::vector<Edge> edges;
+  edges.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    edges.push_back(Edge{static_cast<VertexId>(rng.NextBounded(n)),
+                         static_cast<VertexId>(rng.NextBounded(n))});
+  }
+  return edges;
+}
+
+TEST(MvccTest, SnapshotSeesPreBatchStateWhileLiveMovesOn) {
+  LSGraph g(64);
+  g.BuildFromEdges({{0, 1}, {0, 2}, {1, 2}, {5, 9}});
+  auto snap = g.Snapshot();
+  std::vector<std::vector<VertexId>> before = DumpAll(g);
+  EXPECT_EQ(snap->num_edges(), 4u);
+
+  EXPECT_EQ(g.InsertBatch(std::vector<Edge>{{0, 3}, {0, 4}, {5, 1}, {7, 7}}),
+            4u);
+  EXPECT_TRUE(g.DeleteEdge(0, 1));
+
+  // Live graph moved...
+  EXPECT_EQ(g.num_edges(), 7u);
+  EXPECT_TRUE(g.HasEdge(0, 3));
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  // ...the snapshot did not.
+  EXPECT_EQ(snap->num_edges(), 4u);
+  EXPECT_TRUE(snap->HasEdge(0, 1));
+  EXPECT_FALSE(snap->HasEdge(0, 3));
+  EXPECT_EQ(snap->degree(0), 2u);
+  for (VertexId v = 0; v < 64; ++v) {
+    EXPECT_EQ(Dump(*snap, v), before[v]) << "vertex " << v;
+  }
+  EXPECT_TRUE(g.CheckInvariants());
+}
+
+TEST(MvccTest, MultiplePinnedVersionsCoexist) {
+  LSGraph g(32);
+  g.InsertEdge(1, 2);
+  auto s1 = g.Snapshot();
+  g.InsertEdge(1, 3);
+  auto s2 = g.Snapshot();
+  g.InsertEdge(1, 4);
+  g.DeleteEdge(1, 2);
+
+  EXPECT_EQ(Dump(*s1, 1), (std::vector<VertexId>{2}));
+  EXPECT_EQ(Dump(*s2, 1), (std::vector<VertexId>{2, 3}));
+  EXPECT_EQ(Dump(g, 1), (std::vector<VertexId>{3, 4}));
+
+  // Release out of order: the older pin must stay intact.
+  s2.reset();
+  EXPECT_EQ(Dump(*s1, 1), (std::vector<VertexId>{2}));
+  EXPECT_EQ(s1->degree(1), 1u);
+}
+
+TEST(MvccTest, SnapshotSurvivesBuildFromEdges) {
+  LSGraph g(128);
+  std::vector<Edge> first = RandomEdges(7, 128, 900);
+  g.BuildFromEdges(first);
+  auto snap = g.Snapshot();
+  std::vector<std::vector<VertexId>> before = DumpAll(g);
+  EdgeCount edges_before = g.num_edges();
+
+  g.BuildFromEdges(RandomEdges(8, 128, 700));  // full rebuild under the pin
+
+  EXPECT_EQ(snap->num_edges(), edges_before);
+  for (VertexId v = 0; v < 128; ++v) {
+    ASSERT_EQ(Dump(*snap, v), before[v]) << "vertex " << v;
+  }
+  EXPECT_TRUE(g.CheckInvariants());
+}
+
+TEST(MvccTest, CountersTrackCowAndReclamation) {
+  LSGraph g(64);
+  g.BuildFromEdges(RandomEdges(11, 64, 600));
+  const CoreStats& stats = g.stats();
+  EXPECT_EQ(stats.snapshots_live.load(), 0u);
+
+  uint64_t cow_before = stats.cow_copies.load();
+  {
+    auto snap = g.Snapshot();
+    EXPECT_EQ(stats.snapshots_live.load(), 1u);
+    g.InsertBatch(RandomEdges(12, 64, 400));
+    // Mutating tailed vertices under a pin must have cloned tails.
+    EXPECT_GT(stats.cow_copies.load(), cow_before);
+    EXPECT_EQ(snap->version(), snap->version());  // pin is stable
+  }
+  EXPECT_EQ(stats.snapshots_live.load(), 0u);
+  // Releasing the pin let pruning retire the preserved pre-images.
+  EXPECT_GT(stats.deferred_frees.load(), 0u);
+
+  // With no snapshot pinned, updates take the in-place path: no new COW
+  // copies, no new deferred frees beyond epoch-retired replacements.
+  uint64_t cow_quiesced = stats.cow_copies.load();
+  g.InsertBatch(RandomEdges(13, 64, 200));
+  EXPECT_EQ(stats.cow_copies.load(), cow_quiesced);
+}
+
+// Satellite regression: the compressed (Cria) adjacency is one
+// [anchors|meta|payload] allocation. Its COW clone must capture a private
+// copy of those bytes — an aliasing clone would let a recompression free
+// or rewrite the buffer a pinned snapshot scan is standing in (ASan-visible
+// use-after-free in this test).
+TEST(MvccTest, CriaSnapshotScanSurvivesRecompressionMidScan) {
+  Options opt;
+  opt.compress_leaves = true;
+  opt.m_threshold = 64;
+  opt.cria_block_bytes = 32;
+  LSGraph g(512, opt);
+  std::vector<Edge> edges;
+  for (VertexId u = 1; u < 400; u += 2) {
+    edges.push_back(Edge{0, u});  // a ~200-degree compressed vertex
+  }
+  g.BuildFromEdges(edges);
+
+  auto snap = g.Snapshot();
+  std::vector<VertexId> expected = Dump(*snap, 0);
+  ASSERT_EQ(expected.size(), g.degree(0));
+
+  // Interleave: mid-way through a pinned scan of vertex 0, rewrite vertex
+  // 0's adjacency (delete + insert enough to force recompression), then
+  // let the scan finish. The scan must emit the pinned neighbor set
+  // byte-for-byte.
+  std::vector<VertexId> seen;
+  size_t mutate_at = expected.size() / 2;
+  bool complete = snap->map_neighbors_while(0, [&](VertexId u) {
+    if (seen.size() == mutate_at) {
+      std::vector<Edge> del;
+      for (VertexId w = 1; w < 400; w += 4) {
+        del.push_back(Edge{0, w});
+      }
+      g.DeleteBatch(del);
+      std::vector<Edge> add;
+      for (VertexId w = 400; w < 500; ++w) {
+        add.push_back(Edge{0, w});
+      }
+      g.InsertBatch(add);
+    }
+    seen.push_back(u);
+    return true;
+  });
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(seen, expected);
+  // And a fresh full scan of the still-pinned snapshot agrees too.
+  EXPECT_EQ(Dump(*snap, 0), expected);
+  EXPECT_TRUE(g.CheckInvariants());
+}
+
+TEST(MvccTest, PinnedAnalyticsMatchQuiescedRunOnSameVersion) {
+  const VertexId n = 256;
+  LSGraph g(n);
+  g.BuildFromEdges(RandomEdges(21, n, 2000));
+
+  // Record the expected pinned state, pin, then keep ingesting from another
+  // thread while BFS runs against the pin.
+  std::vector<std::vector<VertexId>> expected = DumpAll(g);
+  auto snap = g.Snapshot();
+  std::vector<uint32_t> quiesced_bfs = BfsLevels(*snap, 0);
+
+  std::thread writer([&g] {
+    for (uint64_t b = 0; b < 16; ++b) {
+      g.InsertBatch(RandomEdges(100 + b, n, 400));
+      if (b % 4 == 3) {
+        g.DeleteBatch(RandomEdges(200 + b, n, 150));
+      }
+    }
+  });
+  std::vector<uint32_t> racing_bfs = BfsLevels(*snap, 0);
+  std::vector<std::vector<VertexId>> racing_dump = DumpAll(*snap);
+  writer.join();
+
+  EXPECT_EQ(racing_bfs, quiesced_bfs);
+  for (VertexId v = 0; v < n; ++v) {
+    ASSERT_EQ(racing_dump[v], expected[v]) << "vertex " << v;
+  }
+  // After the writer quiesced the pin still reads the same version.
+  EXPECT_EQ(BfsLevels(*snap, 0), quiesced_bfs);
+  EXPECT_TRUE(g.CheckInvariants());
+}
+
+// The interleaved reader/writer stress the `tsan` label exists for:
+// concurrent snapshot readers pin, double-dump (stability), and release
+// while a writer streams batches, in both plain and compressed-leaf modes.
+void ConcurrentStress(Options opt) {
+  const VertexId n = 160;
+  LSGraph g(n, opt);
+  g.BuildFromEdges(RandomEdges(31, n, 1200));
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> snapshots_taken{0};
+  auto reader = [&](uint64_t seed) {
+    SplitMix64 rng(MixSeed(seed, 2));
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto snap = g.Snapshot();
+      snapshots_taken.fetch_add(1, std::memory_order_relaxed);
+      // Dump a random slice twice: a pinned view must never move.
+      VertexId v0 = static_cast<VertexId>(rng.NextBounded(n));
+      for (VertexId d = 0; d < 24; ++d) {
+        VertexId v = (v0 + d) % n;
+        std::vector<VertexId> a = Dump(*snap, v);
+        std::vector<VertexId> b = Dump(*snap, v);
+        ASSERT_EQ(a, b) << "pinned view moved at vertex " << v;
+        ASSERT_EQ(a.size(), snap->degree(v));
+        ASSERT_TRUE(std::is_sorted(a.begin(), a.end()));
+        for (VertexId u : a) {
+          ASSERT_LT(u, snap->num_vertices());
+          ASSERT_TRUE(snap->HasEdge(v, u));
+        }
+      }
+      std::vector<uint32_t> l1 = BfsLevels(*snap, v0);
+      std::vector<uint32_t> l2 = BfsLevels(*snap, v0);
+      ASSERT_EQ(l1, l2) << "pinned BFS unstable from source " << v0;
+    }
+  };
+
+  std::vector<std::thread> readers;
+  readers.emplace_back(reader, 41);
+  readers.emplace_back(reader, 42);
+  // Keep streaming until the readers have demonstrably overlapped with the
+  // writer (on a single hardware thread the first 24 batches can finish
+  // before a reader is ever scheduled); cap the loop so a wedged reader
+  // fails the test instead of hanging it.
+  for (uint64_t b = 0;
+       b < 24 || (snapshots_taken.load(std::memory_order_relaxed) < 4 &&
+                  b < 4000);
+       ++b) {
+    g.InsertBatch(RandomEdges(300 + b, n, 300));
+    g.DeleteBatch(RandomEdges(400 + b, n, 120));
+    g.InsertEdge(static_cast<VertexId>(b % n), static_cast<VertexId>(b));
+    if (b % 8 == 7) {
+      std::this_thread::yield();
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) {
+    t.join();
+  }
+  EXPECT_GT(snapshots_taken.load(), 0u);
+  EXPECT_EQ(g.stats().snapshots_live.load(), 0u);
+  EXPECT_TRUE(g.CheckInvariants());
+
+  // Quiesced: live reads and a fresh pin agree exactly.
+  auto final_snap = g.Snapshot();
+  for (VertexId v = 0; v < n; ++v) {
+    ASSERT_EQ(Dump(*final_snap, v), Dump(g, v)) << "vertex " << v;
+  }
+}
+
+TEST(MvccTest, ConcurrentReadersDuringIngest) { ConcurrentStress(Options{}); }
+
+TEST(MvccTest, ConcurrentReadersDuringIngestCompressed) {
+  Options opt;
+  opt.compress_leaves = true;
+  opt.m_threshold = 64;
+  opt.cria_block_bytes = 32;
+  ConcurrentStress(opt);
+}
+
+// Interleaved reader/writer against a std::set reference: a writer applies
+// batches one at a time and records the full reference adjacency at every
+// pin point; reader threads pin concurrently and must observe exactly one
+// of the recorded reference states (snapshots land on batch boundaries).
+TEST(MvccTest, ConcurrentSnapshotsMatchSomeReferenceState) {
+  const VertexId n = 96;
+  LSGraph g(n);
+
+  // Pre-compute the batch sequence and each prefix's reference state.
+  const size_t kBatches = 20;
+  std::vector<std::vector<Edge>> batches;
+  std::vector<std::vector<std::set<VertexId>>> reference(kBatches + 1);
+  std::vector<std::set<VertexId>> sets(n);
+  reference[0] = sets;
+  for (size_t b = 0; b < kBatches; ++b) {
+    batches.push_back(RandomEdges(500 + b, n, 250));
+    for (const Edge& e : batches.back()) {
+      sets[e.src].insert(e.dst);
+    }
+    reference[b + 1] = sets;
+  }
+  // num_edges at each prefix identifies which state a snapshot pinned.
+  std::vector<EdgeCount> prefix_edges(kBatches + 1, 0);
+  for (size_t b = 0; b <= kBatches; ++b) {
+    EdgeCount total = 0;
+    for (const auto& s : reference[b]) {
+      total += s.size();
+    }
+    prefix_edges[b] = total;
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> verified{0};
+  auto reader = [&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto snap = g.Snapshot();
+      EdgeCount ne = snap->num_edges();
+      auto it = std::find(prefix_edges.begin(), prefix_edges.end(), ne);
+      ASSERT_NE(it, prefix_edges.end())
+          << "snapshot num_edges " << ne << " matches no batch boundary";
+      const auto& want = reference[it - prefix_edges.begin()];
+      for (VertexId v = 0; v < n; ++v) {
+        std::vector<VertexId> got = Dump(*snap, v);
+        ASSERT_EQ(got, std::vector<VertexId>(want[v].begin(), want[v].end()))
+            << "vertex " << v << " at boundary "
+            << (it - prefix_edges.begin());
+      }
+      verified.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  std::thread r1(reader);
+  std::thread r2(reader);
+  for (const auto& batch : batches) {
+    g.InsertBatch(batch);
+    std::this_thread::yield();
+  }
+  // Single-core schedulers can starve the readers until the writer is done;
+  // hold the final state until at least one pinned verification ran.
+  for (int spin = 0;
+       verified.load(std::memory_order_relaxed) == 0 && spin < 10000;
+       ++spin) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  r1.join();
+  r2.join();
+  EXPECT_GT(verified.load(), 0u);
+
+  // Quiesced final state equals the final reference state.
+  for (VertexId v = 0; v < n; ++v) {
+    ASSERT_EQ(Dump(g, v),
+              std::vector<VertexId>(sets[v].begin(), sets[v].end()));
+  }
+  EXPECT_TRUE(g.CheckInvariants());
+}
+
+// Distinct random edges per batch can collide across batches; make the
+// prefix_edges identification robust by construction: the test above relies
+// on strictly increasing prefix edge counts. Verify that holds for the
+// seeds used (a collision would make two boundaries indistinguishable but
+// the adjacency comparison still anchors the check).
+TEST(MvccTest, StressSeedsYieldDistinguishableBoundaries) {
+  const VertexId n = 96;
+  std::vector<std::set<VertexId>> sets(n);
+  EdgeCount prev = 0;
+  bool strictly_increasing = true;
+  for (size_t b = 0; b < 20; ++b) {
+    for (const Edge& e : RandomEdges(500 + b, n, 250)) {
+      sets[e.src].insert(e.dst);
+    }
+    EdgeCount total = 0;
+    for (const auto& s : sets) {
+      total += s.size();
+    }
+    strictly_increasing = strictly_increasing && total > prev;
+    prev = total;
+  }
+  EXPECT_TRUE(strictly_increasing);
+}
+
+}  // namespace
+}  // namespace lsg
