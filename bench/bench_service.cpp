@@ -1,0 +1,154 @@
+// Serving benchmark (DESIGN.md §13): replays a mixed request workload —
+// point reads (60%), update batches (25%), k-hop queries (15%) — against a
+// ShardedGraph behind a Router and reports p50/p99/p999 latency per op
+// class plus achieved QPS, with routed results checked for exact
+// equivalence against a single-engine oracle replay (any divergence
+// aborts: a wrong answer served fast is not a result).
+//
+// Readers run concurrently with the writer the whole time; the latency
+// split between the read classes and the update class is the
+// reads-never-block-on-ingest property made visible.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/service/router.h"
+#include "src/service/shard_map.h"
+#include "src/service/sharded_graph.h"
+#include "src/service/workload.h"
+
+namespace lsg {
+namespace {
+
+struct ServiceTier {
+  DatasetSpec spec;
+  uint32_t shards;
+  uint64_t ops;
+  uint64_t batch;
+  uint32_t readers;
+  double target_qps;  // 0 = closed loop
+};
+
+ServiceTier TierForScale() {
+  switch (bench::BenchScale()) {
+    case bench::Scale::kTiny:
+      return {{"SRV", 12, 8.0, 77}, 4, 1600, 500, 2, 4000.0};
+    case bench::Scale::kSmall:
+      return {{"SRV", 15, 16.0, 77}, 4, 8000, 2000, 2, 0.0};
+    case bench::Scale::kFull:
+      return {{"SRV", 18, 16.0, 77}, 8, 40000, 10000, 4, 0.0};
+  }
+  return {{"SRV", 12, 8.0, 77}, 4, 1600, 500, 2, 4000.0};
+}
+
+void ReportClass(bench::BenchReporter& reporter, const ServiceTier& tier,
+                 const char* op, const LatencyHistogram& hist,
+                 int64_t threads) {
+  const std::string params =
+      std::string("op=") + op + " shards=" + std::to_string(tier.shards);
+  struct {
+    const char* metric;
+    double p;
+  } rows[] = {{"latency_p50", 0.50}, {"latency_p99", 0.99},
+              {"latency_p999", 0.999}};
+  for (const auto& r : rows) {
+    reporter.Add({tier.spec.name, "LSGraph", r.metric,
+                  hist.PercentileSeconds(r.p), "s",
+                  static_cast<int64_t>(tier.batch), threads, params});
+  }
+  reporter.Add({tier.spec.name, "LSGraph", "latency_ops",
+                static_cast<double>(hist.count()), "count",
+                static_cast<int64_t>(tier.batch), threads, params});
+  std::printf("  %-11s %8llu ops   p50 %9.1f us   p99 %9.1f us   p999 %9.1f us\n",
+              op, static_cast<unsigned long long>(hist.count()),
+              hist.PercentileSeconds(0.50) * 1e6,
+              hist.PercentileSeconds(0.99) * 1e6,
+              hist.PercentileSeconds(0.999) * 1e6);
+}
+
+int Run() {
+  bench::BenchReporter reporter("service");
+  const ServiceTier tier = TierForScale();
+  const VertexId n = bench::NumVerticesFor(tier.spec);
+
+  std::printf("bench_service: scale=%s graph=2^%d vertices, shards=%u\n",
+              bench::BenchScaleName(), tier.spec.scale, tier.shards);
+
+  std::vector<Edge> base = BuildDatasetEdges(tier.spec);
+  ServiceOptions sopts;
+  sopts.num_shards = tier.shards;
+  ShardedGraph graph(n, std::make_unique<HashShardMap>(tier.shards), sopts);
+  graph.BuildFromEdges(base);
+  Router router(graph);
+  const int64_t threads =
+      static_cast<int64_t>(graph.service_pool().num_threads());
+
+  WorkloadSpec wl;
+  wl.ops = tier.ops;
+  wl.point_read_frac = 0.60;
+  wl.update_frac = 0.25;
+  wl.update_batch_size = tier.batch;
+  wl.khop_depth = 2;
+  wl.target_qps = tier.target_qps;
+  wl.reader_threads = tier.readers;
+  wl.seed = tier.spec.seed;
+  wl.updates = tier.spec;
+  if (std::string err = wl.Validate(); !err.empty()) {
+    std::fprintf(stderr, "bench_service: bad workload spec: %s\n",
+                 err.c_str());
+    return 1;
+  }
+
+  WorkloadResult res = RunWorkload(router, wl);
+
+  std::printf("  mixed workload: %llu ops in %.3f s -> %.0f ops/s "
+              "(target %.0f), checksum %llu\n",
+              static_cast<unsigned long long>(res.ops_issued),
+              res.wall_seconds, res.achieved_qps(), wl.target_qps,
+              static_cast<unsigned long long>(res.read_checksum));
+  ReportClass(reporter, tier, "point_read", res.point_read, threads);
+  ReportClass(reporter, tier, "update", res.update, threads);
+  ReportClass(reporter, tier, "khop", res.khop, threads);
+
+  const std::string shard_params = "shards=" + std::to_string(tier.shards);
+  reporter.Add({tier.spec.name, "LSGraph", "achieved_qps", res.achieved_qps(),
+                "ops/s", static_cast<int64_t>(tier.batch), threads,
+                shard_params});
+  if (res.wall_seconds > 0) {
+    reporter.Add({tier.spec.name, "LSGraph", "update_ingest",
+                  static_cast<double>(res.edges_submitted) / res.wall_seconds,
+                  "edges/s", static_cast<int64_t>(tier.batch), threads,
+                  shard_params});
+  }
+
+  CoreStats stats;
+  graph.AggregateStats(&stats);
+  reporter.AddCoreStats(tier.spec.name, "LSGraph", stats, shard_params);
+
+  // A fast wrong answer is not a result: replay the identical update log
+  // into a single engine and demand exact equivalence.
+  std::string divergence = VerifyAgainstOracle(router, base, res.update_log,
+                                               sopts.engine, tier.spec.seed);
+  if (!divergence.empty()) {
+    std::fprintf(stderr,
+                 "bench_service: routed state DIVERGES from single-engine "
+                 "oracle: %s\n",
+                 divergence.c_str());
+    std::abort();
+  }
+  std::printf("  oracle equivalence: OK (%llu update batches replayed)\n",
+              static_cast<unsigned long long>(res.update_log.size()));
+  if (!graph.CheckInvariants()) {
+    std::fprintf(stderr, "bench_service: invariant check failed\n");
+    std::abort();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace lsg
+
+int main() { return lsg::Run(); }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <stdexcept>
 #include <utility>
 
 #include "src/util/sort.h"
@@ -19,9 +20,14 @@ thread_local std::vector<std::vector<VertexId>> scratch_pool;  // NOLINT
 LSGraph::LSGraph(VertexId num_vertices, Options options, ThreadPool* pool)
     : options_(options),
       blocks_(num_vertices),
-      pool_(pool),
+      pool_(pool != nullptr ? pool : options.pool),
       vseq_(num_vertices),
       chains_(num_vertices) {
+  // Reject unusable tunables at the door instead of deep inside a
+  // conversion path (Options::Validate documents every bound).
+  if (std::string err = options_.Validate(); !err.empty()) {
+    throw std::invalid_argument("LSGraph: invalid Options: " + err);
+  }
   // Wire every structure this engine creates to its shared counters.
   options_.stats = &stats_;
 }

@@ -5,11 +5,14 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "src/util/cache.h"
 #include "src/util/graph_types.h"
 
 namespace lsg {
+
+class ThreadPool;
 
 // Engine-wide update counters, shared by all structures of one graph.
 // Atomic because batch updates run one vertex per thread.
@@ -110,6 +113,45 @@ struct Options {
 
   // Optional engine-wide counters; may be null.
   CoreStats* stats = nullptr;
+
+  // Worker pool the engine runs its parallel phases on. Null means the
+  // process-wide ThreadPool::Global(). Injecting the pool here (rather than
+  // only via the engine constructor) lets factories that see just an
+  // Options — and the service layer, which stripes one thread budget across
+  // many engine instances — pick the pool without a constructor change per
+  // engine. The constructor's explicit pool argument, when non-null, wins.
+  ThreadPool* pool = nullptr;
+
+  // Returns "" when the configuration is usable, else a one-line
+  // description of the first violation. Engines call this on construction
+  // and refuse to start (std::invalid_argument) instead of failing deep
+  // inside a conversion or re-encode path hours into an ingest.
+  std::string Validate() const {
+    if (!(alpha >= 1.0) || alpha > 64.0) {
+      return "alpha must be in [1, 64] (space amplification factor)";
+    }
+    // No upper bound on M: ~0u is a legitimate setting meaning "never
+    // convert a RIA to a HITree" (the ablation benchmarks rely on it).
+    if (m_threshold == 0) {
+      return "m_threshold must be >= 1";
+    }
+    if (a_threshold == 0 || a_threshold > m_threshold) {
+      return "a_threshold must be in [1, m_threshold]";
+    }
+    if (block_size == 0 || block_size > m_threshold) {
+      return "block_size must be in [1, m_threshold]";
+    }
+    if (compress_leaves) {
+      // A CRIA block stores a varint run after its raw 4-byte anchor; below
+      // 16 bytes the per-block metadata outweighs the payload, and the
+      // block-offset fields inside Cria are 16-bit, so 65534 is the hard
+      // structural ceiling (previously an assert deep in cria.cpp).
+      if (cria_block_bytes < 16 || cria_block_bytes > 65534) {
+        return "cria_block_bytes must be in [16, 65534]";
+      }
+    }
+    return "";
+  }
 };
 
 }  // namespace lsg

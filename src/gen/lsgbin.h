@@ -336,6 +336,70 @@ inline LoadedGraph LoadLsgbin(const std::string& path,
   return out;
 }
 
+// Partitioned parallel load for the sharded service layer: decodes the file
+// with the bounds-checked parallel loader above, then scatters every edge to
+// part_of(src) — two deterministic parallel passes (count per span/part,
+// prefix, place), so each part's edge list keeps CSR (src, dst) order and
+// the concatenation of all parts is exactly LoadLsgbin's output. part_of
+// must be total over [0, num_vertices) and return values < num_parts
+// (a ShardMap::ShardOf is the intended argument).
+template <typename PartF>
+std::vector<std::vector<Edge>> LoadLsgbinPartitioned(const std::string& path,
+                                                     uint32_t num_parts,
+                                                     PartF&& part_of,
+                                                     ThreadPool* pool = nullptr) {
+  LoadedGraph g = LoadLsgbin(path, pool);
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::Global();
+  std::vector<std::vector<Edge>> parts(num_parts);
+  if (num_parts == 0 || g.edges.empty()) {
+    return parts;
+  }
+  // Fixed contiguous spans (not pool self-scheduling) so the counting and
+  // placement passes agree on which span owns which edges.
+  const size_t nspans = std::min<size_t>(
+      g.edges.size(), std::max<size_t>(1, p.num_threads() * 4));
+  const size_t span_len = (g.edges.size() + nspans - 1) / nspans;
+  std::vector<std::vector<size_t>> counts(nspans,
+                                          std::vector<size_t>(num_parts, 0));
+  p.ParallelFor(
+      0, nspans,
+      [&](size_t sp) {
+        size_t lo = sp * span_len;
+        size_t hi = std::min(lo + span_len, g.edges.size());
+        std::vector<size_t>& c = counts[sp];
+        for (size_t i = lo; i < hi; ++i) {
+          ++c[part_of(g.edges[i].src)];
+        }
+      },
+      /*grain=*/1);
+  // offsets[sp][pt] = where span sp's part-pt run starts in parts[pt].
+  std::vector<size_t> totals(num_parts, 0);
+  std::vector<std::vector<size_t>> offsets(nspans,
+                                           std::vector<size_t>(num_parts, 0));
+  for (size_t sp = 0; sp < nspans; ++sp) {
+    for (uint32_t pt = 0; pt < num_parts; ++pt) {
+      offsets[sp][pt] = totals[pt];
+      totals[pt] += counts[sp][pt];
+    }
+  }
+  for (uint32_t pt = 0; pt < num_parts; ++pt) {
+    parts[pt].resize(totals[pt]);
+  }
+  p.ParallelFor(
+      0, nspans,
+      [&](size_t sp) {
+        size_t lo = sp * span_len;
+        size_t hi = std::min(lo + span_len, g.edges.size());
+        std::vector<size_t> cursor = offsets[sp];
+        for (size_t i = lo; i < hi; ++i) {
+          uint32_t pt = part_of(g.edges[i].src);
+          parts[pt][cursor[pt]++] = g.edges[i];
+        }
+      },
+      /*grain=*/1);
+  return parts;
+}
+
 }  // namespace lsg
 
 #endif  // SRC_GEN_LSGBIN_H_

@@ -1,0 +1,341 @@
+#include "src/service/sharded_graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "src/gen/lsgbin.h"
+#include "src/parallel/thread_pool.h"
+
+namespace lsg {
+
+ShardedGraph::ShardedGraph(VertexId num_vertices,
+                           std::unique_ptr<ShardMap> shard_map,
+                           ServiceOptions options)
+    : options_(options), shard_map_(std::move(shard_map)),
+      num_vertices_(num_vertices) {
+  if (std::string err = options_.Validate(); !err.empty()) {
+    throw std::invalid_argument("ShardedGraph: invalid ServiceOptions: " +
+                                err);
+  }
+  if (shard_map_ == nullptr) {
+    shard_map_ = std::make_unique<HashShardMap>(options_.num_shards);
+  }
+  if (shard_map_->num_shards() != options_.num_shards) {
+    throw std::invalid_argument(
+        "ShardedGraph: shard_map.num_shards() != options.num_shards");
+  }
+
+  // Stripe the engine-worker budget: with S shards each applying batches
+  // concurrently, per-shard pools of budget/S workers keep the total at the
+  // budget instead of S * hardware_concurrency (the oversubscription an
+  // engine-per-shard naively built from defaults would create).
+  size_t budget = options_.engine_threads;
+  if (budget == 0) {
+    budget = options_.pool != nullptr
+                 ? options_.pool->num_threads()
+                 : std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  size_t per_shard = std::max<size_t>(1, budget / options_.num_shards);
+
+  shards_.reserve(options_.num_shards);
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->pool = std::make_unique<ThreadPool>(per_shard);
+    Options engine_options = options_.engine;
+    engine_options.pool = shard->pool.get();
+    shard->engine =
+        std::make_unique<LSGraph>(num_vertices, engine_options, nullptr);
+    shards_.push_back(std::move(shard));
+  }
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    RefreshView(s);
+    shards_[s]->drainer = std::thread([this, s] { DrainerLoop(s); });
+  }
+}
+
+ShardedGraph::~ShardedGraph() {
+  // Teardown ordering audit (DESIGN.md §13): (1) drain the queues so no
+  // submitted work is lost, (2) stop and join the drainers, (3) release the
+  // service's view pins, (4) destroy the engines — their destructors prune
+  // version chains and drain the epoch reclaimer, which requires every pin
+  // gone — and (5) destroy the worker pools (members of Shard, declared
+  // before the engine). External ReadView handles must already be gone
+  // (snapshots must not outlive their engine).
+  paused_.store(false, std::memory_order_release);
+  Flush();
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lk(shard->mu);
+      shard->stop = true;
+    }
+    shard->cv_work.notify_all();
+  }
+  for (auto& shard : shards_) {
+    if (shard->drainer.joinable()) {
+      shard->drainer.join();
+    }
+    std::lock_guard<std::mutex> lk(shard->view_mu);
+    shard->view.reset();
+  }
+  // shards_ destruction releases engines then pools per member order.
+}
+
+ThreadPool& ShardedGraph::service_pool() const {
+  return options_.pool != nullptr ? *options_.pool : ThreadPool::Global();
+}
+
+std::vector<std::vector<Edge>> ShardedGraph::PartitionBySrc(
+    std::vector<Edge> edges) const {
+  std::vector<std::vector<Edge>> parts(options_.num_shards);
+  // Size each part up front so the scatter pass never reallocates.
+  std::vector<size_t> counts(options_.num_shards, 0);
+  for (const Edge& e : edges) {
+    ++counts[shard_map_->ShardOf(e.src)];
+  }
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    parts[s].reserve(counts[s]);
+  }
+  for (const Edge& e : edges) {
+    parts[shard_map_->ShardOf(e.src)].push_back(e);
+  }
+  return parts;
+}
+
+void ShardedGraph::BuildFromEdges(std::vector<Edge> edges) {
+  Flush();
+  std::vector<std::vector<Edge>> parts = PartitionBySrc(std::move(edges));
+  // One shard per service-pool slot; each build then fans out on its own
+  // worker stripe.
+  service_pool().ParallelFor(
+      0, options_.num_shards,
+      [this, &parts](size_t s) {
+        shards_[s]->engine->BuildFromEdges(std::move(parts[s]));
+      },
+      /*grain=*/1);
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    RefreshView(s);
+  }
+}
+
+void ShardedGraph::BuildFromLsgbin(const std::string& path) {
+  Flush();
+  std::vector<std::vector<Edge>> parts = LoadLsgbinPartitioned(
+      path, options_.num_shards,
+      [this](VertexId v) { return shard_map_->ShardOf(v); }, &service_pool());
+  service_pool().ParallelFor(
+      0, options_.num_shards,
+      [this, &parts](size_t s) {
+        shards_[s]->engine->BuildFromEdges(std::move(parts[s]));
+      },
+      /*grain=*/1);
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    RefreshView(s);
+  }
+}
+
+VertexId ShardedGraph::AddVertices(VertexId count) {
+  Flush();
+  // The engine contract forbids snapshot reads racing vertex-array growth,
+  // so the service's own pins release first and re-pin after. Caller-held
+  // ReadView handles stay pinned at their version (reading them *during*
+  // the growth is what the quiesced-admin-op contract forbids).
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->view_mu);
+    shard->view.reset();
+  }
+  VertexId first = num_vertices_;
+  for (auto& shard : shards_) {
+    VertexId got = shard->engine->AddVertices(count);
+    (void)got;
+  }
+  num_vertices_ += count;
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    RefreshView(s);
+  }
+  return first;
+}
+
+void ShardedGraph::Submit(UpdateKind kind, std::vector<Edge> batch,
+                          std::shared_ptr<Completion> done) {
+  std::vector<std::vector<Edge>> parts = PartitionBySrc(std::move(batch));
+  if (done != nullptr) {
+    // Arm before any enqueue: a drainer may finish a slice while later
+    // slices are still being enqueued.
+    std::lock_guard<std::mutex> lk(done->mu);
+    done->remaining = options_.num_shards;
+  }
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    Shard& shard = *shards_[s];
+    Task task{kind, std::move(parts[s]), done};
+    std::unique_lock<std::mutex> lk(shard.mu);
+    shard.cv_space.wait(lk, [&shard, this] {
+      return shard.queue.size() < options_.queue_depth;
+    });
+    shard.queue.push_back(std::move(task));
+    lk.unlock();
+    shard.cv_work.notify_one();
+  }
+}
+
+void ShardedGraph::SubmitInsert(std::vector<Edge> batch) {
+  Submit(UpdateKind::kInsert, std::move(batch), nullptr);
+}
+
+void ShardedGraph::SubmitDelete(std::vector<Edge> batch) {
+  Submit(UpdateKind::kDelete, std::move(batch), nullptr);
+}
+
+size_t ShardedGraph::SubmitAndWait(UpdateKind kind, std::vector<Edge> batch) {
+  auto done = std::make_shared<Completion>();
+  Submit(kind, std::move(batch), done);
+  return done->Wait();
+}
+
+void ShardedGraph::Flush() {
+  for (auto& shard : shards_) {
+    std::unique_lock<std::mutex> lk(shard->mu);
+    shard->cv_idle.wait(lk, [&shard] {
+      return shard->queue.empty() && !shard->applying;
+    });
+  }
+}
+
+void ShardedGraph::DrainerLoop(uint32_t s) {
+  Shard& shard = *shards_[s];
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lk(shard.mu);
+      shard.cv_work.wait(lk, [&shard, this] {
+        return shard.stop ||
+               (!shard.queue.empty() &&
+                !paused_.load(std::memory_order_acquire));
+      });
+      if (shard.queue.empty()) {
+        if (shard.stop) {
+          return;
+        }
+        continue;
+      }
+      task = std::move(shard.queue.front());
+      shard.queue.pop_front();
+      shard.applying = true;
+    }
+    shard.cv_space.notify_one();
+
+    size_t applied = 0;
+    if (!task.edges.empty()) {
+      applied = task.kind == UpdateKind::kInsert
+                    ? shard.engine->InsertBatch(task.edges)
+                    : shard.engine->DeleteBatch(task.edges);
+      // Pin the new batch boundary BEFORE reporting the batch applied or
+      // idle, so Flush()/SubmitAndWait() returning implies reads see it.
+      RefreshView(s);
+    }
+    if (task.done != nullptr) {
+      task.done->Done(applied);
+    }
+    {
+      std::lock_guard<std::mutex> lk(shard.mu);
+      shard.applying = false;
+    }
+    shard.cv_idle.notify_all();
+  }
+}
+
+void ShardedGraph::RefreshView(uint32_t s) {
+  Shard& shard = *shards_[s];
+  std::shared_ptr<const GraphSnapshot> fresh = shard.engine->Snapshot();
+  std::shared_ptr<const GraphSnapshot> old;
+  {
+    std::lock_guard<std::mutex> lk(shard.view_mu);
+    old = std::move(shard.view);
+    shard.view = std::move(fresh);
+  }
+  // `old` releases outside the slot lock: dropping the last reference runs
+  // the snapshot-release path (chain pruning under the engine's gate).
+}
+
+std::shared_ptr<const GraphSnapshot> ShardedGraph::ReadView(
+    uint32_t s) const {
+  const Shard& shard = *shards_[s];
+  std::lock_guard<std::mutex> lk(shard.view_mu);
+  return shard.view;
+}
+
+EdgeCount ShardedGraph::num_edges() const {
+  EdgeCount total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->engine->num_edges();
+  }
+  return total;
+}
+
+uint64_t ShardedGraph::oob_rejected() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->engine->oob_rejected();
+  }
+  return total;
+}
+
+void ShardedGraph::AggregateStats(CoreStats* out) const {
+  out->Clear();
+  auto add = [](std::atomic<uint64_t>& dst, uint64_t v) {
+    dst.fetch_add(v, std::memory_order_relaxed);
+  };
+  for (const auto& shard : shards_) {
+    const CoreStats& s = shard->engine->stats();
+    add(out->ria_to_hitree_conversions, s.ria_to_hitree_conversions.load());
+    add(out->ria_expansions, s.ria_expansions.load());
+    add(out->lia_child_creations, s.lia_child_creations.load());
+    add(out->hitree_to_ria_conversions, s.hitree_to_ria_conversions.load());
+    add(out->ria_to_array_conversions, s.ria_to_array_conversions.load());
+    add(out->ria_contractions, s.ria_contractions.load());
+    add(out->bytes_resident, s.bytes_resident.load());
+    add(out->neighbors_decoded, s.neighbors_decoded.load());
+    add(out->cria_recompressions, s.cria_recompressions.load());
+    add(out->pull_neighbors_decoded, s.pull_neighbors_decoded.load());
+    add(out->pull_degree_scanned, s.pull_degree_scanned.load());
+    add(out->pull_early_exits, s.pull_early_exits.load());
+    add(out->edgemap_pull_rounds, s.edgemap_pull_rounds.load());
+    add(out->edgemap_push_rounds, s.edgemap_push_rounds.load());
+    add(out->snapshots_live, s.snapshots_live.load());
+    add(out->cow_copies, s.cow_copies.load());
+    add(out->deferred_frees, s.deferred_frees.load());
+  }
+}
+
+bool ShardedGraph::CheckInvariants() const {
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    const LSGraph& g = *shards_[s]->engine;
+    if (!g.CheckInvariants()) {
+      return false;
+    }
+    // Partition invariant: a shard stores adjacency only for vertices the
+    // map assigns to it.
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (g.degree(v) != 0 && shard_map_->ShardOf(v) != s) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void ShardedGraph::PauseIngestForTest(bool paused) {
+  paused_.store(paused, std::memory_order_release);
+  if (!paused) {
+    for (auto& shard : shards_) {
+      shard->cv_work.notify_all();
+    }
+  }
+}
+
+size_t ShardedGraph::PendingBatchesForTest(uint32_t s) const {
+  std::lock_guard<std::mutex> lk(shards_[s]->mu);
+  return shards_[s]->queue.size();
+}
+
+}  // namespace lsg

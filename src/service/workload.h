@@ -1,0 +1,107 @@
+// WorkloadDriver: replays a mixed serving workload against a Router at a
+// target QPS and reports per-op-class latency distributions (DESIGN.md §13).
+//
+// Op classes and threading model:
+//   - update batches: ONE writer thread issues every update (blocking
+//     InsertBatch/DeleteBatch, so "update latency" is submit-to-visible:
+//     enqueue + queue wait + apply + view refresh). A single writer keeps
+//     the update sequence deterministic for the given seed, which is what
+//     lets VerifyAgainstOracle replay the identical log into a fresh
+//     single-engine graph and demand bit-for-bit equivalent state.
+//   - point reads (HasEdge / Degree / Neighbors) and k-hop queries:
+//     reader_threads threads issue them concurrently with the writer —
+//     the reads-never-block-on-ingest property is exactly what the p99/p999
+//     split between read classes and the update class exposes.
+//
+// Pacing: target_qps > 0 runs open-loop — each thread schedules op i at
+// start + i/rate for its share of the rate and never sleeps when behind, so
+// an overloaded server shows up as latency, not silently reduced load.
+// target_qps == 0 is closed-loop (issue as fast as possible).
+//
+// Latencies are recorded into per-thread LatencyHistograms (no atomics on
+// the hot path) and merged per class at the end.
+#ifndef SRC_SERVICE_WORKLOAD_H_
+#define SRC_SERVICE_WORKLOAD_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/gen/datasets.h"
+#include "src/service/router.h"
+#include "src/service/sharded_graph.h"
+#include "src/util/metrics.h"
+
+namespace lsg {
+
+struct WorkloadSpec {
+  // Total operations across all classes and threads.
+  uint64_t ops = 10000;
+
+  // Class mix: point reads + updates + k-hop (remainder) == 1.
+  double point_read_frac = 0.60;
+  double update_frac = 0.25;
+
+  uint64_t update_batch_size = 1000;
+  uint32_t khop_depth = 2;
+
+  // Aggregate target rate across every thread; 0 = closed loop.
+  double target_qps = 0.0;
+
+  uint32_t reader_threads = 1;
+  uint64_t seed = 1;
+
+  // rMat parameters for generated update batches (scale should match the
+  // served graph so updates hit resident vertices).
+  DatasetSpec updates = TestDataset();
+
+  // Record the (kind, batch) sequence for oracle replay. Costs memory
+  // proportional to updates issued; turn off for long soak runs.
+  bool keep_update_log = true;
+
+  // "" when runnable, else the first violation.
+  std::string Validate() const;
+};
+
+struct WorkloadResult {
+  LatencyHistogram point_read;  // HasEdge / Degree / Neighbors
+  LatencyHistogram update;      // blocking batch submit-to-visible
+  LatencyHistogram khop;
+
+  double wall_seconds = 0.0;
+  uint64_t ops_issued = 0;
+  uint64_t edges_submitted = 0;
+  uint64_t edges_applied = 0;  // adds/removes the engines accepted
+  uint64_t read_checksum = 0;  // defeats dead-read elimination; logged
+
+  // The exact update sequence, in issue order (single writer = total
+  // order), for VerifyAgainstOracle.
+  std::vector<std::pair<ShardedGraph::UpdateKind, std::vector<Edge>>>
+      update_log;
+
+  double achieved_qps() const {
+    return wall_seconds > 0 ? static_cast<double>(ops_issued) / wall_seconds
+                            : 0.0;
+  }
+};
+
+// Runs the workload to completion (all ops issued, ingest flushed).
+WorkloadResult RunWorkload(Router& router, const WorkloadSpec& spec);
+
+// Replays base_edges + update_log into a fresh single-engine LSGraph and
+// compares it against the routed graph: total edge count, every vertex's
+// degree, sorted neighbor lists, randomized HasEdge probes, and truncated
+// k-hop reach counts from sampled sources. Returns "" on equivalence, else
+// a human-readable description of the first divergence. Quiesces the
+// service (Flush) first.
+std::string VerifyAgainstOracle(
+    Router& router, std::span<const Edge> base_edges,
+    const std::vector<std::pair<ShardedGraph::UpdateKind, std::vector<Edge>>>&
+        update_log,
+    const Options& engine_options, uint64_t seed);
+
+}  // namespace lsg
+
+#endif  // SRC_SERVICE_WORKLOAD_H_

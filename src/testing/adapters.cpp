@@ -9,6 +9,9 @@
 #include "src/baselines/terrace_graph.h"
 #include "src/core/engine_concept.h"
 #include "src/core/lsgraph.h"
+#include "src/service/router.h"
+#include "src/service/shard_map.h"
+#include "src/service/sharded_graph.h"
 
 namespace lsg {
 namespace {
@@ -229,6 +232,99 @@ class LSGraphAdapter : public GraphAdapter<LSGraph> {
   std::vector<std::shared_ptr<const GraphSnapshot>> pins_;
 };
 
+// The sharded service stack as one cohort member. Every mutation is
+// blocking (SubmitAndWait), so by the time an op returns the per-shard
+// read views already reflect it and the point-read answers the runner
+// compares are exact — the concurrency the service layer adds (queues,
+// drainer threads, completions, view swaps) still all executes on every
+// op, which is the point: differential traces through this adapter diff
+// the entire routing/partitioning/pipeline machinery against std::set.
+class ShardedAdapter : public EngineAdapter {
+ public:
+  ShardedAdapter(VertexId n, uint32_t shards, Options engine_options,
+                 ThreadPool* pool, std::string_view name = "sharded")
+      : name_(name) {
+    ServiceOptions sopts;
+    sopts.num_shards = shards;
+    sopts.pool = pool;
+    // Keep the fuzz cohort lean: one worker per shard engine.
+    sopts.engine_threads = shards;
+    sopts.engine = engine_options;
+    graph_ = std::make_unique<ShardedGraph>(
+        n, std::make_unique<HashShardMap>(shards), sopts);
+    router_ = std::make_unique<Router>(*graph_);
+  }
+
+  std::string_view name() const override { return name_; }
+
+  bool InsertEdge(VertexId src, VertexId dst) override {
+    return graph_->SubmitAndWait(ShardedGraph::UpdateKind::kInsert,
+                                 {Edge{src, dst}}) == 1;
+  }
+  bool DeleteEdge(VertexId src, VertexId dst) override {
+    return graph_->SubmitAndWait(ShardedGraph::UpdateKind::kDelete,
+                                 {Edge{src, dst}}) == 1;
+  }
+  size_t InsertBatch(std::span<const Edge> batch) override {
+    return router_->InsertBatch(batch);
+  }
+  size_t DeleteBatch(std::span<const Edge> batch) override {
+    return router_->DeleteBatch(batch);
+  }
+  void BuildFromEdges(std::vector<Edge> edges) override {
+    graph_->BuildFromEdges(std::move(edges));
+  }
+  VertexId AddVertices(VertexId count) override {
+    return graph_->AddVertices(count);
+  }
+
+  bool HasEdge(VertexId src, VertexId dst) const override {
+    return router_->HasEdge(src, dst);
+  }
+  size_t Degree(VertexId v) const override { return router_->Degree(v); }
+  VertexId NumVertices() const override { return graph_->num_vertices(); }
+  EdgeCount NumEdges() const override { return graph_->num_edges(); }
+  uint64_t OobRejected() const override { return graph_->oob_rejected(); }
+  std::vector<VertexId> Neighbors(VertexId v) const override {
+    return router_->Neighbors(v);
+  }
+
+  bool CheckInvariants() const override { return graph_->CheckInvariants(); }
+
+  // Pin = every shard's current view, captured together. Mutations are
+  // blocking and the runner is single-threaded, so the capture is one
+  // consistent cut of the whole sharded graph.
+  bool SupportsPin() const override { return true; }
+  size_t NumPins() const override { return pins_.size(); }
+  void Pin() override {
+    std::vector<std::shared_ptr<const GraphSnapshot>> views;
+    views.reserve(graph_->num_shards());
+    for (uint32_t s = 0; s < graph_->num_shards(); ++s) {
+      views.push_back(graph_->ReadView(s));
+    }
+    pins_.push_back(std::move(views));
+  }
+  void ReleasePin() override { pins_.pop_back(); }
+  VertexId PinnedNumVertices() const override {
+    return pins_.back().front()->num_vertices();
+  }
+  std::vector<VertexId> PinnedNeighbors(VertexId v) const override {
+    const auto& views = pins_.back();
+    uint32_t s = graph_->shard_map().ShardOf(v);
+    std::vector<VertexId> out;
+    views[s]->FillNeighbors(v, &out);
+    return out;
+  }
+
+ private:
+  std::string_view name_;
+  std::unique_ptr<ShardedGraph> graph_;
+  std::unique_ptr<Router> router_;
+  // Declared last: pins release before the graph destructs (views must not
+  // outlive their shard engines).
+  std::vector<std::vector<std::shared_ptr<const GraphSnapshot>>> pins_;
+};
+
 // Deterministically buggy oracle wrapper for harness self-tests.
 class DropInsertAdapter : public ReferenceAdapter {
  public:
@@ -274,6 +370,11 @@ std::vector<std::unique_ptr<EngineAdapter>> MakeDefaultAdapters(
       "aspen", std::make_unique<AspenGraph>(n, pool)));
   out.push_back(std::make_unique<GraphAdapter<SortledtonGraph>>(
       "sortledton", std::make_unique<SortledtonGraph>(n, pool)));
+  // The sharded service stack, small compressed-leaf engines behind the
+  // router: 3 shards (odd, so hash placement is never trivially aligned
+  // with the id space) with the same shrunk CRIA thresholds as above.
+  out.push_back(std::make_unique<ShardedAdapter>(n, 3, cria_options, pool,
+                                                 "sharded-cria"));
   return out;
 }
 
@@ -285,6 +386,14 @@ std::unique_ptr<EngineAdapter> MakeDropInsertAdapter(VertexId n,
                                                      VertexId modulus,
                                                      VertexId residue) {
   return std::make_unique<DropInsertAdapter>(n, modulus, residue);
+}
+
+std::unique_ptr<EngineAdapter> MakeShardedAdapter(VertexId n, uint32_t shards,
+                                                  bool compress_leaves,
+                                                  ThreadPool* pool) {
+  Options engine_options;
+  engine_options.compress_leaves = compress_leaves;
+  return std::make_unique<ShardedAdapter>(n, shards, engine_options, pool);
 }
 
 }  // namespace lsg

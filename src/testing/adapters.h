@@ -87,6 +87,17 @@ std::unique_ptr<EngineAdapter> MakeDropInsertAdapter(VertexId n,
                                                      VertexId modulus,
                                                      VertexId residue);
 
+// The sharded service stack (ShardedGraph + Router, hash-partitioned over
+// `shards` engines) as a cohort member: every trace op routes through the
+// service layer — partitioning, per-shard queues, blocking completions,
+// view refresh — so differential traces diff the whole serving machinery
+// against the std::set oracle, not just a single engine. Pins capture all
+// shard views at once (one consistent cut, since adapter mutations are
+// blocking).
+std::unique_ptr<EngineAdapter> MakeShardedAdapter(VertexId n, uint32_t shards,
+                                                  bool compress_leaves,
+                                                  ThreadPool* pool);
+
 }  // namespace lsg
 
 #endif  // SRC_TESTING_ADAPTERS_H_

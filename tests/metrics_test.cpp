@@ -189,5 +189,75 @@ TEST(BenchTest, ReporterWritesSchemaValidFile) {
   std::remove(path.c_str());
 }
 
+TEST(LatencyHistogramTest, BucketBoundaries) {
+  // Below kSub the mapping is identity (exact nanoseconds).
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{31}}) {
+    EXPECT_EQ(LatencyHistogram::BucketOf(v), v);
+    EXPECT_EQ(LatencyHistogram::BucketLowerBound(
+                  LatencyHistogram::BucketOf(v)),
+              v);
+  }
+  // From kSub upward: log-linear, lower bound never exceeds the value and
+  // the relative error stays within one sub-bucket (~1/32).
+  for (uint64_t v : {uint64_t{32}, uint64_t{33}, uint64_t{63}, uint64_t{64},
+                     uint64_t{1000}, uint64_t{123456789},
+                     uint64_t{1} << 40}) {
+    uint32_t b = LatencyHistogram::BucketOf(v);
+    uint64_t lo = LatencyHistogram::BucketLowerBound(b);
+    EXPECT_LE(lo, v) << v;
+    EXPECT_GT(LatencyHistogram::BucketLowerBound(b + 1), v) << v;
+    EXPECT_LE(static_cast<double>(v - lo) / static_cast<double>(v),
+              1.0 / 32.0 + 1e-9)
+        << v;
+  }
+  // Octave edges land in fresh octaves.
+  EXPECT_EQ(LatencyHistogram::BucketOf(32), LatencyHistogram::kSub);
+  EXPECT_EQ(LatencyHistogram::BucketOf(64), 2 * LatencyHistogram::kSub);
+}
+
+TEST(LatencyHistogramTest, PercentilesAndMerge) {
+  LatencyHistogram empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.PercentileNanos(0.99), 0u);
+
+  LatencyHistogram h;
+  for (uint64_t i = 1; i <= 1000; ++i) {
+    h.Record(i);  // 1..1000 ns, exact buckets below 32, ~3% above
+  }
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.min_nanos(), 1u);
+  EXPECT_EQ(h.max_nanos(), 1000u);
+  // p50 = 500 ns: bucket lower bound within one sub-bucket below.
+  EXPECT_GE(h.PercentileNanos(0.50), 480u);
+  EXPECT_LE(h.PercentileNanos(0.50), 500u);
+  EXPECT_GE(h.PercentileNanos(0.99), 950u);
+  EXPECT_LE(h.PercentileNanos(0.99), 990u);
+  // Monotone in p, and p=1 reaches the top bucket.
+  EXPECT_LE(h.PercentileNanos(0.5), h.PercentileNanos(0.99));
+  EXPECT_LE(h.PercentileNanos(0.99), h.PercentileNanos(1.0));
+
+  // Merge = distribution union (the per-thread recorder pattern).
+  LatencyHistogram a, b;
+  for (uint64_t i = 1; i <= 500; ++i) {
+    a.Record(i);
+  }
+  for (uint64_t i = 501; i <= 1000; ++i) {
+    b.Record(i);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1000u);
+  EXPECT_EQ(a.max_nanos(), 1000u);
+  EXPECT_EQ(a.PercentileNanos(0.99), h.PercentileNanos(0.99));
+
+  // RecordSeconds ignores garbage, converts otherwise.
+  LatencyHistogram s;
+  s.RecordSeconds(-1.0);
+  s.RecordSeconds(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(s.count(), 0u);
+  s.RecordSeconds(1e-6);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_NEAR(s.PercentileSeconds(1.0), 1e-6, 1e-7);
+}
+
 }  // namespace
 }  // namespace lsg

@@ -85,3 +85,44 @@ run_compare(0 --smoke "${WORK_DIR}/base" "${WORK_DIR}/new")
 # Malformed input is a usage/schema error (exit 2), not a pass.
 file(WRITE "${WORK_DIR}/bad.json" "{ not json")
 run_compare(2 --check "${WORK_DIR}/bad.json")
+
+# Percentile-aware gating: tail-latency metrics get a widened noise
+# allowance (p99 -> 2x threshold, p999 -> 3x), so a +30%/+60% tail
+# excursion passes a 25% threshold that would gate a median, but the same
+# excursion still gates once the widened bar is crossed.
+function(write_lat_doc path p50 p99 p999)
+  file(WRITE "${path}" "{
+  \"schema_version\": 1,
+  \"experiment\": \"lat\",
+${meta}
+  \"rows\": [
+    {
+      \"experiment\": \"lat\", \"dataset\": \"SRV\", \"engine\": \"LSGraph\",
+      \"scale\": \"tiny\", \"threads\": -1, \"batch_size\": 500,
+      \"metric\": \"latency_p50\", \"value\": ${p50},
+      \"unit\": \"s\", \"params\": \"op=point_read\"
+    },
+    {
+      \"experiment\": \"lat\", \"dataset\": \"SRV\", \"engine\": \"LSGraph\",
+      \"scale\": \"tiny\", \"threads\": -1, \"batch_size\": 500,
+      \"metric\": \"latency_p99\", \"value\": ${p99},
+      \"unit\": \"s\", \"params\": \"op=point_read\"
+    },
+    {
+      \"experiment\": \"lat\", \"dataset\": \"SRV\", \"engine\": \"LSGraph\",
+      \"scale\": \"tiny\", \"threads\": -1, \"batch_size\": 500,
+      \"metric\": \"latency_p999\", \"value\": ${p999},
+      \"unit\": \"s\", \"params\": \"op=point_read\"
+    }
+  ]
+}
+")
+endfunction()
+
+file(MAKE_DIRECTORY "${WORK_DIR}/base_lat" "${WORK_DIR}/new_lat")
+write_lat_doc("${WORK_DIR}/base_lat/BENCH_lat.json" 1.0 1.0 1.0)
+write_lat_doc("${WORK_DIR}/new_lat/BENCH_lat.json" 1.05 1.3 1.6)
+# p50 +5% < 25%; p99 +30% < 2*25%; p999 +60% < 3*25% -> all absorbed.
+run_compare(0 --threshold=0.25 "${WORK_DIR}/base_lat" "${WORK_DIR}/new_lat")
+# At 10%: p99 +30% exceeds 2*10% and p999 +60% exceeds 3*10% -> gates.
+run_compare(1 --threshold=0.1 "${WORK_DIR}/base_lat" "${WORK_DIR}/new_lat")

@@ -16,8 +16,11 @@
 // Gating policy (IsGatedUnit): units "s", "bytes", and anything containing
 // "/s" gate; "count" / "%" / "x" rows are informational context only.
 // Direction comes from the unit — throughput ("/s") regresses downward,
-// time/space regress upward. Exit codes: 0 ok, 1 regression, 2 usage or
-// schema error.
+// time/space regress upward. Tail-latency rows gate with a widened
+// allowance (metric containing "p99" -> 2x threshold, "p999" -> 3x): a
+// p999 over a few thousand ops is decided by a handful of samples, so the
+// deeper the percentile, the wider the legitimate noise floor. Exit codes:
+// 0 ok, 1 regression, 2 usage or schema error.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -49,7 +52,21 @@ struct Options {
 struct FlatRow {
   double value = 0.0;
   std::string unit;
+  std::string metric;
 };
+
+// Percentile-aware noise widening: deeper tail percentiles are decided by
+// fewer samples, so their legitimate run-to-run variation is larger. The
+// p999 test must come first — "p999" contains "p99" as a substring.
+double NoiseFactor(const std::string& metric) {
+  if (metric.find("p999") != std::string::npos) {
+    return 3.0;
+  }
+  if (metric.find("p99") != std::string::npos) {
+    return 2.0;
+  }
+  return 1.0;
+}
 
 bool ReadFileToString(const std::string& path, std::string* out,
                       std::string* error) {
@@ -106,7 +123,8 @@ std::map<std::string, FlatRow> Flatten(const JsonValue& doc) {
   std::map<std::string, FlatRow> out;
   for (const JsonValue& row : doc.Find("rows")->items()) {
     out[RowKey(row)] = {row.Find("value")->AsDouble(),
-                        row.Find("unit")->AsString()};
+                        row.Find("unit")->AsString(),
+                        row.Find("metric")->AsString()};
   }
   return out;
 }
@@ -146,10 +164,9 @@ int CompareDocs(const JsonValue& base, const JsonValue& next,
     ++gated;
     bool higher_better = b.unit.find("/s") != std::string::npos;
     double rel = new_v / old_v - 1.0;  // signed change, + means grew
-    bool regressed = higher_better ? rel < -opt.threshold
-                                   : rel > opt.threshold;
-    bool improved = higher_better ? rel > opt.threshold
-                                  : rel < -opt.threshold;
+    double threshold = opt.threshold * NoiseFactor(b.metric);
+    bool regressed = higher_better ? rel < -threshold : rel > threshold;
+    bool improved = higher_better ? rel > threshold : rel < -threshold;
     if (regressed) {
       std::printf("  [REGRESSION] %s: %.6g -> %.6g %s (%+.1f%%)\n",
                   key.c_str(), old_v, new_v, b.unit.c_str(), 100.0 * rel);
